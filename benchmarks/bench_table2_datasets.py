@@ -1,0 +1,37 @@
+"""Benchmark EXP-T2: regenerate Table 2 (datasets used in the evaluation).
+
+Prints, for every benchmark dataset, the task, the paper's split sizes and
+the sizes of the synthetic stand-in generated at the benchmark scale.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2_dataset_statistics
+
+
+def test_table2_dataset_statistics(benchmark, bench_protocol, bench_datasets):
+    """Generate all benchmark datasets and print the Table 2 statistics."""
+
+    def run():
+        return table2_dataset_statistics(
+            scale=bench_protocol.dataset_scale, random_state=0, names=bench_datasets
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    header = (f"{'Name':10s} {'Task':26s} {'#Train':>7s} {'#Valid':>7s} {'#Test':>7s}"
+              f" {'paper #Train':>13s} {'paper #Valid':>13s} {'paper #Test':>12s}")
+    print("\n\nTable 2: Datasets used in Evaluation (synthetic stand-ins)")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['name']:10s} {row['task']:26s} {row['n_train']:7d} "
+              f"{row['n_valid']:7d} {row['n_test']:7d} {row['paper_train']:13d} "
+              f"{row['paper_valid']:13d} {row['paper_test']:12d}")
+
+    assert len(rows) == len(bench_datasets)
+    for row in rows:
+        assert row["n_train"] > 0 and row["n_valid"] > 0 and row["n_test"] > 0
+        # 80/10/10 split shape.
+        total = row["n_train"] + row["n_valid"] + row["n_test"]
+        assert row["n_train"] / total > 0.7

@@ -1,0 +1,51 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one artefact of the paper's evaluation section
+(Table 2-5, Figure 3).  The defaults are scaled down so the whole suite runs
+in minutes on one machine; three environment variables restore larger (up to
+paper-scale) protocols:
+
+* ``REPRO_BENCH_SCALE``       synthetic dataset scale factor (default 0.3)
+* ``REPRO_BENCH_ITERATIONS``  labelling budget per run (default 20; paper 300)
+* ``REPRO_BENCH_SEEDS``       repetitions per configuration (default 1; paper 5)
+* ``REPRO_BENCH_DATASETS``    comma-separated dataset subset (default: all 8)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import dataset_names
+from repro.experiments import EvaluationProtocol
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_protocol() -> EvaluationProtocol:
+    """Evaluation protocol used by all benchmarks (scaled via env vars)."""
+    iterations = _env_int("REPRO_BENCH_ITERATIONS", 20)
+    return EvaluationProtocol(
+        n_iterations=iterations,
+        eval_every=max(iterations // 4, 1),
+        n_seeds=_env_int("REPRO_BENCH_SEEDS", 1),
+        dataset_scale=_env_float("REPRO_BENCH_SCALE", 0.3),
+        base_seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_datasets() -> list[str]:
+    """Datasets covered by the benchmarks (all eight of Table 2 by default)."""
+    override = os.environ.get("REPRO_BENCH_DATASETS")
+    if override:
+        return [name.strip() for name in override.split(",") if name.strip()]
+    return dataset_names()

@@ -1,0 +1,53 @@
+"""Study ActiveDP's robustness to label noise (the Table 5 experiment).
+
+Runs ActiveDP with a noisy simulated user at several noise rates and reports
+how pseudo-label accuracy, aggregated-label accuracy and downstream test
+accuracy degrade — the mechanism behind Table 5 of the paper.
+
+Usage::
+
+    python examples/noise_robustness.py [--dataset yelp] [--iterations 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ActiveDP, ActiveDPConfig, load_dataset
+from repro.simulation import NoisySimulatedUser
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="yelp")
+    parser.add_argument("--iterations", type=int, default=40)
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--noise-rates", type=float, nargs="+", default=[0.0, 0.05, 0.10, 0.15]
+    )
+    args = parser.parse_args()
+
+    split = load_dataset(args.dataset, scale=args.scale, random_state=args.seed)
+    print(f"Dataset {args.dataset!r}: {len(split.train)} training instances\n")
+    print(f"{'noise':>6s} {'noisy answers':>14s} {'pseudo acc':>11s} "
+          f"{'label acc':>10s} {'label cov':>10s} {'test acc':>9s}")
+
+    for noise_rate in args.noise_rates:
+        config = ActiveDPConfig.for_dataset_kind(split.kind)
+        framework = ActiveDP(split.train, split.valid, config, random_state=args.seed)
+        user = NoisySimulatedUser(
+            split.train, noise_rate=noise_rate, random_state=args.seed
+        )
+        framework.run(user, args.iterations)
+        quality = framework.label_quality()
+        print(
+            f"{noise_rate:6.0%} {user.n_noisy_responses:14d} "
+            f"{framework.pseudo.accuracy(split.train):11.3f} "
+            f"{quality['accuracy']:10.3f} {quality['coverage']:10.3f} "
+            f"{framework.evaluate_end_model(split.test):9.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``python setup.py develop`` keeps working in offline environments where
+the ``wheel`` package (required by pip's PEP 517 editable-install path) is
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

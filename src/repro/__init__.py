@@ -1,0 +1,57 @@
+"""repro: a full reproduction of "ActiveDP: Bridging Active Learning and Data
+Programming" (Guan & Koudas, EDBT 2024).
+
+The package is organised as a layered library:
+
+* ``repro.models`` / ``repro.text`` / ``repro.graphical`` — NumPy/SciPy
+  substrates (logistic regression, TF-IDF, graphical lasso) replacing the
+  scikit-learn components the paper builds on;
+* ``repro.labeling`` / ``repro.label_models`` — the data-programming stack
+  (label functions, label matrices, MeTaL-style label models);
+* ``repro.active_learning`` — query-selection strategies, including the
+  paper's ADP sampler;
+* ``repro.core`` — the ActiveDP framework itself (ConFusion, LabelPick,
+  pseudo-labelling, the interactive loop);
+* ``repro.datasets`` / ``repro.simulation`` — synthetic stand-ins for the
+  paper's eight benchmark datasets and the simulated user protocol;
+* ``repro.baselines`` — Nemo, IWS, Revising LF and uncertainty-sampling
+  pipelines used in the end-to-end comparison;
+* ``repro.experiments`` — the evaluation protocol and the runners that
+  regenerate Figure 3 and Tables 2-5.
+
+Quickstart::
+
+    from repro import ActiveDP, ActiveDPConfig, load_dataset
+    from repro.simulation import SimulatedUser
+
+    split = load_dataset("youtube", random_state=0)
+    framework = ActiveDP(split.train, split.valid,
+                         ActiveDPConfig.for_dataset_kind(split.kind),
+                         random_state=0)
+    user = SimulatedUser(split.train, random_state=0)
+    framework.run(user, n_iterations=50)
+    print(framework.label_quality())
+    print(framework.evaluate_end_model(split.test))
+"""
+
+from repro.core import ActiveDP, ActiveDPConfig, ConFusion, LabelPick
+from repro.active_learning import ADPSampler
+from repro.datasets import load_dataset, dataset_names
+from repro.labeling import ABSTAIN, KeywordLF, LabelFunction, ThresholdLF
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveDP",
+    "ActiveDPConfig",
+    "ConFusion",
+    "LabelPick",
+    "ADPSampler",
+    "load_dataset",
+    "dataset_names",
+    "ABSTAIN",
+    "LabelFunction",
+    "KeywordLF",
+    "ThresholdLF",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Active-learning substrate: query-instance selection strategies.
+
+All samplers implement the same interface (:class:`BaseSampler.select`)
+against a :class:`QueryContext` that carries the unlabeled pool, the current
+active-learning-model and label-model predictions, and the query history.
+The ADP sampler of the paper lives here alongside the baselines it is
+compared against in Table 4 (passive, uncertainty, LAL, SEU) and several
+classical strategies (margin, query-by-committee, core-set, density).
+"""
+
+from repro.active_learning.base import BaseSampler, QueryContext, prediction_entropy
+from repro.active_learning.passive import PassiveSampler
+from repro.active_learning.uncertainty import MarginSampler, UncertaintySampler
+from repro.active_learning.committee import QueryByCommitteeSampler
+from repro.active_learning.coreset import CoreSetSampler
+from repro.active_learning.density import DensityWeightedSampler
+from repro.active_learning.lal import LALSampler
+from repro.active_learning.seu import SEUSampler
+from repro.active_learning.adp import ADPSampler
+
+__all__ = [
+    "BaseSampler",
+    "QueryContext",
+    "prediction_entropy",
+    "PassiveSampler",
+    "UncertaintySampler",
+    "MarginSampler",
+    "QueryByCommitteeSampler",
+    "CoreSetSampler",
+    "DensityWeightedSampler",
+    "LALSampler",
+    "SEUSampler",
+    "ADPSampler",
+    "get_sampler",
+]
+
+_REGISTRY = {
+    "passive": PassiveSampler,
+    "uncertainty": UncertaintySampler,
+    "us": UncertaintySampler,
+    "margin": MarginSampler,
+    "qbc": QueryByCommitteeSampler,
+    "coreset": CoreSetSampler,
+    "density": DensityWeightedSampler,
+    "lal": LALSampler,
+    "seu": SEUSampler,
+    "adp": ADPSampler,
+}
+
+
+def get_sampler(name: str, **kwargs) -> BaseSampler:
+    """Instantiate a sampler by registry name (see Table 4 of the paper)."""
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler {name!r}; choose from {sorted(set(_REGISTRY))}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,63 @@
+"""Query-by-committee sampling.
+
+Trains a small committee of heterogeneous classifiers on the currently
+pseudo-labelled instances and queries the candidate with the highest vote
+entropy [Seung et al. 1992].  Falls back to random selection while fewer than
+two classes have been observed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.active_learning.base import BaseSampler, QueryContext
+from repro.labeling.lf import ABSTAIN
+from repro.models.logistic_regression import LogisticRegression
+from repro.models.naive_bayes import GaussianNaiveBayes
+
+
+class QueryByCommitteeSampler(BaseSampler):
+    """Vote-entropy query-by-committee over a small mixed committee.
+
+    Parameters
+    ----------
+    n_lr_members:
+        Number of logistic-regression committee members (with different
+        regularisation strengths) in addition to one naive-Bayes member.
+    """
+
+    name = "qbc"
+
+    def __init__(self, n_lr_members: int = 2):
+        if n_lr_members < 1:
+            raise ValueError("n_lr_members must be >= 1")
+        self.n_lr_members = n_lr_members
+
+    def select(self, context: QueryContext) -> int:
+        """Return the candidate on which the committee disagrees the most."""
+        labeled_mask = context.queried_labels != ABSTAIN if context.queried_labels.size else np.array([], dtype=bool)
+        labeled_idx = context.queried_indices[labeled_mask] if context.queried_indices.size else np.array([], dtype=int)
+        labels = context.queried_labels[labeled_mask] if context.queried_labels.size else np.array([], dtype=int)
+
+        if labeled_idx.size < 2 or len(np.unique(labels)) < 2:
+            return int(context.rng.choice(context.candidates))
+
+        X_labeled = context.features[labeled_idx]
+        committee = [
+            LogisticRegression(C=10.0 ** (i - self.n_lr_members // 2),
+                               n_classes=context.n_classes)
+            for i in range(self.n_lr_members)
+        ]
+        committee.append(GaussianNaiveBayes(n_classes=context.n_classes))
+
+        X_candidates = context.features[context.candidates]
+        votes = np.zeros((len(context.candidates), context.n_classes))
+        for member in committee:
+            member.fit(X_labeled, labels)
+            predictions = member.predict(X_candidates)
+            for row, pred in enumerate(predictions):
+                votes[row, pred] += 1.0
+        vote_proba = votes / votes.sum(axis=1, keepdims=True)
+        clipped = np.clip(vote_proba, 1e-12, 1.0)
+        vote_entropy = -np.sum(clipped * np.log(clipped), axis=1)
+        return self._argmax_with_ties(vote_entropy, context.candidates, context.rng)

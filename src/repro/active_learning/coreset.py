@@ -1,0 +1,34 @@
+"""Core-set (k-center greedy) sampling.
+
+Selects the candidate farthest (in feature space) from the set of already
+queried instances [Sener & Savarese 2018], which spreads queries across the
+pool and avoids redundant annotations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.active_learning.base import BaseSampler, QueryContext
+
+
+class CoreSetSampler(BaseSampler):
+    """Greedy k-center selection over Euclidean feature distances."""
+
+    name = "coreset"
+
+    def select(self, context: QueryContext) -> int:
+        """Return the candidate with maximal distance to its nearest queried point."""
+        if context.queried_indices.size == 0:
+            return int(context.rng.choice(context.candidates))
+        candidates = context.features[context.candidates]
+        queried = context.features[context.queried_indices]
+        # Pairwise distances candidate x queried, computed blockwise to keep
+        # memory bounded for large pools.
+        min_distances = np.full(len(candidates), np.inf)
+        block = 2048
+        for start in range(0, len(candidates), block):
+            chunk = candidates[start:start + block]
+            distances = np.linalg.norm(chunk[:, None, :] - queried[None, :, :], axis=2)
+            min_distances[start:start + block] = distances.min(axis=1)
+        return self._argmax_with_ties(min_distances, context.candidates, context.rng)

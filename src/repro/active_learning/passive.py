@@ -1,0 +1,15 @@
+"""Passive (random) sampling baseline."""
+
+from __future__ import annotations
+
+from repro.active_learning.base import BaseSampler, QueryContext
+
+
+class PassiveSampler(BaseSampler):
+    """Select a query instance uniformly at random from the candidates."""
+
+    name = "passive"
+
+    def select(self, context: QueryContext) -> int:
+        """Return a uniformly random candidate index."""
+        return int(context.rng.choice(context.candidates))

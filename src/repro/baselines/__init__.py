@@ -1,0 +1,58 @@
+"""Baseline interactive-labelling frameworks from the paper's evaluation.
+
+Every framework implements the same :class:`InteractivePipeline` interface —
+one ``step()`` per simulated-user interaction, ``generate_labels()`` for the
+training labels produced so far, and ``evaluate_end_model(test)`` to train
+and score the downstream model — so the experiment harness can run them
+interchangeably:
+
+* :class:`ActiveDPPipeline` — the paper's method (wraps ``repro.core``);
+* :class:`NemoPipeline` — interactive data programming with SEU selection;
+* :class:`IWSPipeline` — interactive weak supervision (LF verification);
+* :class:`RevisingLFPipeline` — LF-output revision on queried instances;
+* :class:`UncertaintySamplingPipeline` — classical pool-based AL.
+"""
+
+from repro.baselines.base import InteractivePipeline
+from repro.baselines.activedp import ActiveDPPipeline
+from repro.baselines.nemo import NemoPipeline
+from repro.baselines.iws import IWSPipeline
+from repro.baselines.revising_lf import RevisingLFPipeline
+from repro.baselines.uncertainty_pipeline import UncertaintySamplingPipeline
+
+__all__ = [
+    "InteractivePipeline",
+    "ActiveDPPipeline",
+    "NemoPipeline",
+    "IWSPipeline",
+    "RevisingLFPipeline",
+    "UncertaintySamplingPipeline",
+    "get_pipeline",
+    "pipeline_names",
+]
+
+_REGISTRY = {
+    "activedp": ActiveDPPipeline,
+    "nemo": NemoPipeline,
+    "iws": IWSPipeline,
+    "revising_lf": RevisingLFPipeline,
+    "rlf": RevisingLFPipeline,
+    "uncertainty": UncertaintySamplingPipeline,
+    "us": UncertaintySamplingPipeline,
+}
+
+
+def pipeline_names() -> list[str]:
+    """Canonical names of the available frameworks."""
+    return ["activedp", "nemo", "iws", "revising_lf", "uncertainty"]
+
+
+def get_pipeline(name: str, data_split, random_state=None, **kwargs) -> InteractivePipeline:
+    """Instantiate a framework by name against a :class:`~repro.datasets.DataSplit`."""
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown framework {name!r}; choose from {pipeline_names()}"
+        ) from None
+    return cls(data_split, random_state=random_state, **kwargs)

@@ -1,0 +1,81 @@
+"""Common interface for interactive labelling frameworks.
+
+The evaluation protocol (Section 4.1.3) treats every framework as a black
+box that consumes one simulated-user interaction per iteration and, at any
+point, can produce training labels for the downstream model.  This module
+defines that contract plus the shared downstream-model training/evaluation
+logic (TF-IDF / tabular features into logistic regression, as in the paper).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.datasets.base import DataSplit
+from repro.models.logistic_regression import LogisticRegression
+from repro.models.metrics import accuracy_score
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class InteractivePipeline(abc.ABC):
+    """One interactive data-labelling framework bound to one dataset split.
+
+    Parameters
+    ----------
+    data_split:
+        The benchmark dataset (train/valid/test).
+    random_state:
+        Seed or generator shared by the framework's stochastic components.
+    """
+
+    name: str = "pipeline"
+
+    def __init__(self, data_split: DataSplit, random_state: RandomState = None):
+        self.data = data_split
+        self.rng = ensure_rng(random_state)
+        self.n_classes = data_split.n_classes
+        self.iteration = 0
+
+    # ------------------------------------------------------------- interface
+    @abc.abstractmethod
+    def step(self) -> None:
+        """Consume one simulated-user interaction (one unit of labelling budget)."""
+
+    @abc.abstractmethod
+    def generate_labels(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(train_indices, hard_labels)`` for downstream training."""
+
+    def run(self, n_iterations: int) -> None:
+        """Run *n_iterations* consecutive interactions."""
+        for _ in range(n_iterations):
+            self.step()
+
+    # ------------------------------------------------- downstream evaluation
+    def train_end_model(self, C: float = 1.0) -> LogisticRegression | None:
+        """Train the downstream logistic-regression model on generated labels."""
+        indices, labels = self.generate_labels()
+        if len(indices) == 0:
+            return None
+        model = LogisticRegression(C=C, n_classes=self.n_classes)
+        model.fit(self.data.train.features[indices], labels)
+        return model
+
+    def evaluate_end_model(self, C: float = 1.0) -> float:
+        """Test-set accuracy of the downstream model (majority-class fallback)."""
+        model = self.train_end_model(C=C)
+        test = self.data.test
+        if model is None:
+            majority = int(np.argmax(np.bincount(self.data.valid.labels, minlength=self.n_classes)))
+            return accuracy_score(test.labels, np.full(len(test), majority))
+        return float(model.score(test.features, test.labels))
+
+    def label_quality(self) -> dict:
+        """Coverage and accuracy of the generated training labels (diagnostics)."""
+        indices, labels = self.generate_labels()
+        n_train = len(self.data.train)
+        if len(indices) == 0:
+            return {"coverage": 0.0, "accuracy": 0.0}
+        accuracy = accuracy_score(self.data.train.labels[indices], labels)
+        return {"coverage": len(indices) / n_train, "accuracy": accuracy}

@@ -1,0 +1,31 @@
+"""ActiveDP core: the paper's primary contribution.
+
+The :class:`ActiveDP` framework (Section 3.1) iteratively selects query
+instances with the :class:`~repro.active_learning.ADPSampler` (Section 3.3),
+collects label functions from the user, filters them with
+:class:`LabelPick` (Section 3.4), trains a label model and an active-learning
+model, and at inference time aggregates both models' predictions with
+:class:`ConFusion` (Section 3.2) to produce training labels with high
+accuracy *and* coverage.
+"""
+
+from repro.active_learning.adp import ADPSampler
+from repro.core.config import ActiveDPConfig
+from repro.core.confusion import AggregatedLabels, ConFusion
+from repro.core.labelpick import LabelPick, LabelPickResult
+from repro.core.pseudo_labels import PseudoLabeledSet
+from repro.core.results import IterationRecord, RunHistory
+from repro.core.framework import ActiveDP
+
+__all__ = [
+    "ActiveDP",
+    "ActiveDPConfig",
+    "ADPSampler",
+    "ConFusion",
+    "AggregatedLabels",
+    "LabelPick",
+    "LabelPickResult",
+    "PseudoLabeledSet",
+    "IterationRecord",
+    "RunHistory",
+]

@@ -1,0 +1,182 @@
+"""ConFusion: confidence-based label aggregation (paper Section 3.2).
+
+ConFusion combines the label model's and the active-learning model's
+predictions with a confidence threshold ``tau`` (Eq. 1):
+
+* if the AL model's confidence (top-1 probability) is at least ``tau``,
+  adopt the AL model's prediction;
+* otherwise, if at least one selected LF is activated on the instance, adopt
+  the label model's prediction;
+* otherwise reject the instance (it is discarded when training the
+  downstream model).
+
+The threshold is tuned dynamically on a holdout validation set: every unique
+AL-model confidence value (plus the boundary values 0 and 1) is evaluated and
+the threshold maximising the accuracy of the aggregated labels on the
+*non-rejected* part of the validation set is kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.labeling.lf import ABSTAIN
+from repro.models.metrics import accuracy_score
+from repro.utils.validation import check_probability_matrix
+
+
+@dataclass
+class AggregatedLabels:
+    """Result of a ConFusion aggregation pass.
+
+    Attributes
+    ----------
+    labels:
+        Hard aggregated labels, ``-1`` for rejected instances.
+    proba:
+        Soft aggregated labels (rows of rejected instances are uniform).
+    accepted:
+        Boolean mask of non-rejected instances.
+    source:
+        Per-instance provenance: ``"al"``, ``"lm"`` or ``"rejected"``.
+    threshold:
+        Confidence threshold used for the aggregation.
+    """
+
+    labels: np.ndarray
+    proba: np.ndarray
+    accepted: np.ndarray
+    source: np.ndarray
+    threshold: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of instances that received a label."""
+        if len(self.accepted) == 0:
+            return 0.0
+        return float(np.mean(self.accepted))
+
+
+class ConFusion:
+    """Confidence-threshold label aggregator with validation-set tuning.
+
+    Parameters
+    ----------
+    objective:
+        ``"accuracy"`` (paper default) tunes the threshold to maximise the
+        aggregated labels' accuracy on the validation set; ``"coverage"``
+        maximises coverage instead (discussed and rejected in Section 3.2 —
+        it degenerates to always trusting the AL model).
+    """
+
+    def __init__(self, objective: str = "accuracy"):
+        if objective not in ("accuracy", "coverage"):
+            raise ValueError("objective must be 'accuracy' or 'coverage'")
+        self.objective = objective
+
+    # ------------------------------------------------------------- aggregate
+    def aggregate(
+        self,
+        al_proba: np.ndarray,
+        lm_proba: np.ndarray,
+        lm_covered: np.ndarray,
+        threshold: float,
+    ) -> AggregatedLabels:
+        """Apply Eq. 1 with a fixed confidence *threshold*.
+
+        Parameters
+        ----------
+        al_proba:
+            ``(n, C)`` probabilities from the active-learning model.
+        lm_proba:
+            ``(n, C)`` probabilities from the label model.
+        lm_covered:
+            Boolean mask: instance has at least one activated (selected) LF.
+        threshold:
+            Confidence threshold ``tau``.
+        """
+        al_proba = check_probability_matrix(al_proba, "al_proba")
+        lm_proba = check_probability_matrix(lm_proba, "lm_proba")
+        lm_covered = np.asarray(lm_covered, dtype=bool)
+        n_instances, n_classes = al_proba.shape
+        if lm_proba.shape != al_proba.shape:
+            raise ValueError("al_proba and lm_proba must have the same shape")
+        if lm_covered.shape != (n_instances,):
+            raise ValueError("lm_covered must be a boolean vector of length n")
+
+        confidence = al_proba.max(axis=1)
+        use_al = confidence >= threshold
+        use_lm = ~use_al & lm_covered
+        accepted = use_al | use_lm
+
+        proba = np.full((n_instances, n_classes), 1.0 / n_classes)
+        proba[use_al] = al_proba[use_al]
+        proba[use_lm] = lm_proba[use_lm]
+
+        labels = np.full(n_instances, ABSTAIN, dtype=int)
+        labels[accepted] = np.argmax(proba[accepted], axis=1)
+
+        source = np.full(n_instances, "rejected", dtype=object)
+        source[use_al] = "al"
+        source[use_lm] = "lm"
+        return AggregatedLabels(labels, proba, accepted, source, float(threshold))
+
+    # ------------------------------------------------------ threshold tuning
+    def candidate_thresholds(self, al_proba_valid: np.ndarray) -> np.ndarray:
+        """Unique AL confidences on the validation set plus the boundaries 0 and 1."""
+        al_proba_valid = check_probability_matrix(al_proba_valid, "al_proba_valid")
+        confidences = np.unique(al_proba_valid.max(axis=1))
+        return np.unique(np.concatenate([[0.0], confidences, [1.0]]))
+
+    def tune_threshold(
+        self,
+        al_proba_valid: np.ndarray,
+        lm_proba_valid: np.ndarray,
+        lm_covered_valid: np.ndarray,
+        y_valid: np.ndarray,
+    ) -> float:
+        """Return the threshold maximising the tuning objective on the validation set.
+
+        Only non-rejected validation instances count toward the accuracy
+        objective, matching the paper.  Ties are broken toward the *smallest*
+        threshold so that, all else equal, the more-covering aggregation wins.
+        """
+        y_valid = np.asarray(y_valid, dtype=int)
+        best_threshold = 0.0
+        best_score = -np.inf
+        for threshold in self.candidate_thresholds(al_proba_valid):
+            aggregated = self.aggregate(
+                al_proba_valid, lm_proba_valid, lm_covered_valid, threshold
+            )
+            if self.objective == "accuracy":
+                if not np.any(aggregated.accepted):
+                    score = 0.0
+                else:
+                    score = accuracy_score(
+                        y_valid[aggregated.accepted],
+                        aggregated.labels[aggregated.accepted],
+                    )
+            else:
+                score = aggregated.coverage
+            if score > best_score + 1e-12:
+                best_score = score
+                best_threshold = float(threshold)
+        return best_threshold
+
+    def tune_and_aggregate(
+        self,
+        al_proba_valid: np.ndarray,
+        lm_proba_valid: np.ndarray,
+        lm_covered_valid: np.ndarray,
+        y_valid: np.ndarray,
+        al_proba: np.ndarray,
+        lm_proba: np.ndarray,
+        lm_covered: np.ndarray,
+    ) -> AggregatedLabels:
+        """Tune the threshold on the validation set, then aggregate the training pool."""
+        threshold = self.tune_threshold(
+            al_proba_valid, lm_proba_valid, lm_covered_valid, y_valid
+        )
+        return self.aggregate(al_proba, lm_proba, lm_covered, threshold)

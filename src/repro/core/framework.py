@@ -1,0 +1,333 @@
+"""The ActiveDP interactive framework (paper Section 3.1).
+
+Training phase (one :meth:`ActiveDP.step` per iteration):
+
+1. the ADP sampler picks a query instance from the unlabeled pool;
+2. the user designs an LF based on the query instance;
+3. the LF joins the collected set ``Lambda_t`` and its output on the query
+   instance becomes a pseudo-label;
+4. LabelPick selects a helpful LF subset ``Lambda*_t``; the label model is
+   trained on the corresponding columns of the label matrix;
+5. the active-learning model is trained on the pseudo-labelled subset.
+
+Inference phase (:meth:`ActiveDP.aggregate_labels`): ConFusion tunes a
+confidence threshold on the validation set and combines the two models'
+predictions into training labels with high accuracy and coverage, which are
+then used to train the downstream model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.active_learning import ADPSampler, BaseSampler, QueryContext, get_sampler
+from repro.core.config import ActiveDPConfig
+from repro.core.confusion import AggregatedLabels, ConFusion
+from repro.core.labelpick import LabelPick, LabelPickResult
+from repro.core.pseudo_labels import PseudoLabeledSet
+from repro.core.results import IterationRecord
+from repro.labeling.label_matrix import apply_lfs
+from repro.labeling.lf import ABSTAIN, LabelFunction
+from repro.label_models import get_label_model
+from repro.models.logistic_regression import LogisticRegression
+from repro.models.metrics import accuracy_score
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class ActiveDP:
+    """Interactive labelling framework bridging active learning and data programming.
+
+    Parameters
+    ----------
+    train:
+        Unlabeled training pool (its ground-truth labels are read only by the
+        simulated user and by diagnostic metrics, never by the framework).
+    valid:
+        Holdout validation split with labels, used for LabelPick's accuracy
+        pruning and ConFusion's threshold tuning.
+    config:
+        Hyper-parameters; ``None`` uses :class:`ActiveDPConfig` defaults.
+    random_state:
+        Seed or generator for the sampler's tie-breaking.
+    """
+
+    def __init__(
+        self,
+        train,
+        valid,
+        config: ActiveDPConfig | None = None,
+        random_state: RandomState = None,
+    ):
+        self.train = train
+        self.valid = valid
+        self.config = config or ActiveDPConfig()
+        self.rng = ensure_rng(random_state)
+        self.n_classes = train.n_classes
+
+        self.sampler = self._build_sampler(self.config)
+        self.labelpick = LabelPick(
+            glasso_alpha=self.config.glasso_alpha,
+            min_queries=self.config.min_labelpick_queries,
+            accuracy_threshold=self.config.accuracy_threshold,
+        )
+        self.confusion = ConFusion()
+
+        # Mutable run state -------------------------------------------------
+        self.lfs: list[LabelFunction] = []
+        self.pseudo = PseudoLabeledSet()
+        self.queried: list[int] = []
+        self._train_matrix = np.empty((len(train), 0), dtype=int)
+        self._valid_matrix = np.empty((len(valid), 0), dtype=int)
+        self.selection = LabelPickResult(selected_indices=[])
+        self.label_model = None
+        self.al_model: LogisticRegression | None = None
+        self.threshold: float | None = None
+        self._lm_proba_train: np.ndarray | None = None
+        self._lm_proba_valid: np.ndarray | None = None
+        self._al_proba_train: np.ndarray | None = None
+        self._al_proba_valid: np.ndarray | None = None
+        self.iteration = 0
+
+    # ------------------------------------------------------------- training
+    def step(self, user) -> IterationRecord:
+        """Run one training-phase iteration with the given *user*.
+
+        The user object must expose ``design_lf(query_index)`` returning a
+        :class:`~repro.labeling.LabelFunction` or ``None``.
+        """
+        query_index = self.select_query()
+        self.queried.append(query_index)
+
+        lf = user.design_lf(query_index)
+        pseudo_label = ABSTAIN
+        if lf is not None and lf not in self.lfs:
+            self.add_lf(lf, query_index)
+            pseudo_label = self.pseudo.labels[-1] if len(self.pseudo) else ABSTAIN
+        elif lf is not None:
+            # Duplicate LF: still record the pseudo-label for the query.
+            pseudo_label = self.pseudo.add(query_index, lf, self.train)
+
+        if self.iteration % self.config.retrain_every == 0:
+            self.refit()
+
+        record = IterationRecord(
+            iteration=self.iteration,
+            query_index=query_index,
+            lf_name=lf.name if lf is not None else None,
+            pseudo_label=int(pseudo_label),
+            n_lfs=len(self.lfs),
+            n_selected_lfs=len(self.selection.selected_indices),
+            threshold=self.threshold,
+        )
+        self.iteration += 1
+        return record
+
+    def run(self, user, n_iterations: int) -> list[IterationRecord]:
+        """Run *n_iterations* training iterations and return their records."""
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        return [self.step(user) for _ in range(n_iterations)]
+
+    def select_query(self) -> int:
+        """Use the configured sampler to pick the next query instance."""
+        candidates = np.setdiff1d(np.arange(len(self.train)), np.asarray(self.queried, dtype=int))
+        if candidates.size == 0:
+            raise RuntimeError("the entire training pool has already been queried")
+        context = QueryContext(
+            dataset=self.train,
+            candidates=candidates,
+            al_proba=self._al_proba_train,
+            lm_proba=self._lm_proba_train,
+            queried_indices=np.asarray(self.queried, dtype=int),
+            queried_labels=self._queried_pseudo_labels(),
+            iteration=self.iteration,
+            rng=self.rng,
+        )
+        return self.sampler.select(context)
+
+    def add_lf(self, lf: LabelFunction, query_index: int | None = None) -> None:
+        """Add a user-returned LF to ``Lambda_t`` (and record its pseudo-label)."""
+        self.lfs.append(lf)
+        train_column = lf.apply(self.train).reshape(-1, 1)
+        valid_column = lf.apply(self.valid).reshape(-1, 1)
+        self._train_matrix = np.hstack([self._train_matrix, train_column])
+        self._valid_matrix = np.hstack([self._valid_matrix, valid_column])
+        if query_index is not None:
+            self.pseudo.add(query_index, lf, self.train)
+
+    def refit(self) -> None:
+        """Re-run LabelPick, retrain the label model and the AL model."""
+        self._run_labelpick()
+        self._fit_label_model()
+        self._fit_al_model()
+        self._tune_threshold()
+
+    # ------------------------------------------------------------ inference
+    def aggregate_labels(self) -> AggregatedLabels:
+        """ConFusion aggregation of the training pool (Eq. 1).
+
+        Depending on the configuration's ablation switches this degrades to
+        label-model-only labels (``use_confusion=False``) or AL-model-only
+        labels (no LFs collected yet).
+        """
+        n_train = len(self.train)
+        lm_proba = self._lm_proba_train
+        al_proba = self._al_proba_train
+        lm_covered = self._lm_covered(self._train_matrix)
+
+        if lm_proba is None and al_proba is None:
+            uniform = np.full((n_train, self.n_classes), 1.0 / self.n_classes)
+            return AggregatedLabels(
+                labels=np.full(n_train, ABSTAIN, dtype=int),
+                proba=uniform,
+                accepted=np.zeros(n_train, dtype=bool),
+                source=np.full(n_train, "rejected", dtype=object),
+                threshold=1.0,
+            )
+
+        if not self.config.use_confusion or al_proba is None:
+            # Label-model-only aggregation (Baseline / LabelPick ablations).
+            proba = lm_proba if lm_proba is not None else np.full(
+                (n_train, self.n_classes), 1.0 / self.n_classes
+            )
+            accepted = lm_covered.copy()
+            labels = np.full(n_train, ABSTAIN, dtype=int)
+            labels[accepted] = np.argmax(proba[accepted], axis=1)
+            source = np.where(accepted, "lm", "rejected").astype(object)
+            return AggregatedLabels(labels, proba, accepted, source, threshold=1.0)
+
+        if lm_proba is None:
+            lm_proba = np.full((n_train, self.n_classes), 1.0 / self.n_classes)
+
+        threshold = self.threshold if self.threshold is not None else 1.0
+        return self.confusion.aggregate(al_proba, lm_proba, lm_covered, threshold)
+
+    def generate_labels(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(indices, hard_labels, soft_labels)`` for downstream training."""
+        aggregated = self.aggregate_labels()
+        indices = np.flatnonzero(aggregated.accepted)
+        return indices, aggregated.labels[indices], aggregated.proba[indices]
+
+    def train_end_model(self, C: float = 1.0, max_iter: int = 200) -> LogisticRegression | None:
+        """Train the downstream logistic-regression model on the aggregated labels."""
+        indices, labels, _ = self.generate_labels()
+        if len(indices) == 0:
+            return None
+        model = LogisticRegression(C=C, max_iter=max_iter, n_classes=self.n_classes)
+        model.fit(self.train.features[indices], labels)
+        return model
+
+    def evaluate_end_model(self, test, C: float = 1.0) -> float:
+        """Train the end model and return its accuracy on the *test* split."""
+        model = self.train_end_model(C=C)
+        if model is None:
+            # No labels yet: fall back to majority-class accuracy.
+            majority = int(np.argmax(np.bincount(self.valid.labels, minlength=self.n_classes)))
+            return accuracy_score(test.labels, np.full(len(test), majority))
+        return float(model.score(test.features, test.labels))
+
+    # ----------------------------------------------------------- diagnostics
+    def label_quality(self) -> dict:
+        """Accuracy/coverage of the aggregated training labels (uses ground truth)."""
+        aggregated = self.aggregate_labels()
+        accepted = aggregated.accepted
+        if not np.any(accepted):
+            return {"coverage": 0.0, "accuracy": 0.0}
+        accuracy = accuracy_score(
+            self.train.labels[accepted], aggregated.labels[accepted]
+        )
+        return {"coverage": aggregated.coverage, "accuracy": accuracy}
+
+    @property
+    def selected_lfs(self) -> list[LabelFunction]:
+        """The LF subset currently selected by LabelPick."""
+        return self.selection.select(self.lfs)
+
+    # ------------------------------------------------------------- internals
+    def _build_sampler(self, config: ActiveDPConfig) -> BaseSampler:
+        if isinstance(config.sampler, BaseSampler):
+            return config.sampler
+        name = str(config.sampler).lower()
+        kwargs = dict(config.sampler_kwargs)
+        if name == "adp" and "alpha" not in kwargs:
+            kwargs["alpha"] = config.alpha
+        return get_sampler(name, **kwargs)
+
+    def _queried_pseudo_labels(self) -> np.ndarray:
+        """Pseudo-labels aligned with the query order (ABSTAIN when none recorded)."""
+        mapping = dict(zip(self.pseudo.indices.tolist(), self.pseudo.labels.tolist()))
+        return np.array([mapping.get(idx, ABSTAIN) for idx in self.queried], dtype=int)
+
+    def _run_labelpick(self) -> None:
+        if not self.lfs:
+            self.selection = LabelPickResult(selected_indices=[])
+            return
+        if not self.config.use_labelpick:
+            self.selection = LabelPickResult(selected_indices=list(range(len(self.lfs))))
+            return
+        query_matrix = (
+            self._train_matrix[self.pseudo.indices]
+            if len(self.pseudo)
+            else np.empty((0, len(self.lfs)), dtype=int)
+        )
+        self.selection = self.labelpick.select(
+            self.lfs,
+            self._valid_matrix,
+            self.valid.labels,
+            query_matrix,
+            self.pseudo.labels,
+            self.n_classes,
+        )
+
+    def _fit_label_model(self) -> None:
+        selected = self.selection.selected_indices
+        if not selected:
+            self.label_model = None
+            self._lm_proba_train = None
+            self._lm_proba_valid = None
+            return
+        train_matrix = self._train_matrix[:, selected]
+        self.label_model = get_label_model(self.config.label_model, n_classes=self.n_classes)
+        self.label_model.fit(train_matrix)
+        self._lm_proba_train = self.label_model.predict_proba(train_matrix)
+        self._lm_proba_valid = self.label_model.predict_proba(self._valid_matrix[:, selected])
+
+    def _fit_al_model(self) -> None:
+        if len(self.pseudo) < 2 or self.pseudo.n_classes_observed() < 2:
+            self.al_model = None
+            self._al_proba_train = None
+            self._al_proba_valid = None
+            return
+        self.al_model = LogisticRegression(
+            C=self.config.al_model_C, n_classes=self.n_classes
+        )
+        self.al_model.fit(self.pseudo.features(self.train), self.pseudo.labels)
+        self._al_proba_train = self.al_model.predict_proba(self.train.features)
+        self._al_proba_valid = self.al_model.predict_proba(self.valid.features)
+
+    def _tune_threshold(self) -> None:
+        if not self.config.use_confusion or self._al_proba_valid is None:
+            self.threshold = None
+            return
+        lm_proba_valid = self._lm_proba_valid
+        if lm_proba_valid is None:
+            lm_proba_valid = np.full(
+                (len(self.valid), self.n_classes), 1.0 / self.n_classes
+            )
+        lm_covered_valid = self._lm_covered(self._valid_matrix, selected_only=True)
+        self.threshold = self.confusion.tune_threshold(
+            self._al_proba_valid,
+            lm_proba_valid,
+            lm_covered_valid,
+            self.valid.labels,
+        )
+
+    def _lm_covered(self, matrix: np.ndarray, selected_only: bool = True) -> np.ndarray:
+        """Mask of instances with at least one activated *selected* LF."""
+        if matrix.shape[1] == 0:
+            return np.zeros(matrix.shape[0], dtype=bool)
+        if selected_only and self.selection.selected_indices:
+            matrix = matrix[:, self.selection.selected_indices]
+        elif selected_only and not self.selection.selected_indices:
+            return np.zeros(matrix.shape[0], dtype=bool)
+        return np.any(matrix != ABSTAIN, axis=1)

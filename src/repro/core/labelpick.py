@@ -1,0 +1,206 @@
+"""LabelPick: label-function selection (paper Section 3.4).
+
+LabelPick reduces LF selection to feature selection in a supervised setting:
+
+1. **Accuracy pruning** — evaluate every candidate LF on the holdout
+   validation set and drop LFs performing worse than random guessing.
+2. **Markov-blanket selection** — build the small labelled dataset
+   ``L_Lambda = {(Lambda_t(x_li), y~_li)}`` of LF outputs on the query
+   instances paired with their pseudo-labels, estimate the dependency
+   structure between LFs and the label with the graphical lasso, and keep
+   only the LFs adjacent to the label (its Markov blanket).
+
+When too few query instances have been collected for structure learning to
+be meaningful, only the accuracy-pruning step applies (all surviving LFs are
+kept), and if the estimated blanket is empty the pruned set is likewise kept
+— pruning to zero LFs would silence the label model entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphical.glasso import graphical_lasso
+from repro.graphical.markov_blanket import markov_blanket
+from repro.labeling.lf import ABSTAIN, LabelFunction
+
+
+@dataclass
+class LabelPickResult:
+    """Outcome of one LabelPick selection pass.
+
+    Attributes
+    ----------
+    selected_indices:
+        Indices (into the full LF list) of the selected LFs.
+    pruned_low_accuracy:
+        Indices dropped by the accuracy-pruning step.
+    pruned_structure:
+        Indices dropped by the Markov-blanket step.
+    used_structure_learning:
+        Whether the graphical-lasso step actually ran.
+    """
+
+    selected_indices: list[int]
+    pruned_low_accuracy: list[int] = field(default_factory=list)
+    pruned_structure: list[int] = field(default_factory=list)
+    used_structure_learning: bool = False
+
+    def select(self, lfs: list[LabelFunction]) -> list[LabelFunction]:
+        """Return the selected subset of *lfs*."""
+        return [lfs[i] for i in self.selected_indices]
+
+
+class LabelPick:
+    """Accuracy pruning + graphical-lasso Markov-blanket LF selection.
+
+    Parameters
+    ----------
+    glasso_alpha:
+        L1 penalty of the graphical lasso.
+    min_queries:
+        Minimum number of pseudo-labelled query instances before structure
+        learning is attempted.
+    accuracy_threshold:
+        Validation accuracy below which an LF is pruned.  ``None`` uses the
+        better-than-random bound ``1 / n_classes``.
+    """
+
+    def __init__(
+        self,
+        glasso_alpha: float = 0.01,
+        min_queries: int = 8,
+        accuracy_threshold: float | None = None,
+    ):
+        if glasso_alpha < 0:
+            raise ValueError("glasso_alpha must be non-negative")
+        if min_queries < 2:
+            raise ValueError("min_queries must be >= 2")
+        self.glasso_alpha = glasso_alpha
+        self.min_queries = min_queries
+        self.accuracy_threshold = accuracy_threshold
+
+    # ---------------------------------------------------------------- select
+    def select(
+        self,
+        lfs: list[LabelFunction],
+        valid_label_matrix: np.ndarray,
+        valid_labels: np.ndarray,
+        query_label_matrix: np.ndarray,
+        pseudo_labels: np.ndarray,
+        n_classes: int,
+    ) -> LabelPickResult:
+        """Run both LabelPick stages and return the selection result.
+
+        Parameters
+        ----------
+        lfs:
+            The full candidate LF list ``Lambda_t``.
+        valid_label_matrix:
+            LF outputs on the validation set, shape ``(n_valid, n_lfs)``.
+        valid_labels:
+            Ground-truth validation labels.
+        query_label_matrix:
+            LF outputs on the query instances, shape ``(n_queries, n_lfs)``.
+        pseudo_labels:
+            Pseudo-labels of the query instances.
+        n_classes:
+            Number of classes in the task.
+        """
+        n_lfs = len(lfs)
+        if n_lfs == 0:
+            return LabelPickResult(selected_indices=[])
+        if valid_label_matrix.shape[1] != n_lfs or query_label_matrix.shape[1] != n_lfs:
+            raise ValueError("label matrices must have one column per LF")
+
+        threshold = (
+            self.accuracy_threshold
+            if self.accuracy_threshold is not None
+            else 1.0 / n_classes
+        )
+        survivors, pruned_low = self._accuracy_prune(
+            valid_label_matrix, valid_labels, threshold
+        )
+        if not survivors:
+            # Never silence the label model completely: if every LF fails the
+            # validation check, keep them all and let aggregation sort it out.
+            return LabelPickResult(
+                selected_indices=list(range(n_lfs)),
+                pruned_low_accuracy=[],
+            )
+
+        if len(pseudo_labels) < self.min_queries or len(survivors) < 2:
+            return LabelPickResult(
+                selected_indices=survivors,
+                pruned_low_accuracy=pruned_low,
+            )
+
+        selected, pruned_structure = self._markov_blanket_select(
+            survivors, query_label_matrix, pseudo_labels
+        )
+        if not selected:
+            return LabelPickResult(
+                selected_indices=survivors,
+                pruned_low_accuracy=pruned_low,
+                used_structure_learning=True,
+            )
+        return LabelPickResult(
+            selected_indices=selected,
+            pruned_low_accuracy=pruned_low,
+            pruned_structure=pruned_structure,
+            used_structure_learning=True,
+        )
+
+    # -------------------------------------------------------------- internals
+    def _accuracy_prune(
+        self,
+        valid_label_matrix: np.ndarray,
+        valid_labels: np.ndarray,
+        threshold: float,
+    ) -> tuple[list[int], list[int]]:
+        """Drop LFs whose validation accuracy is at or below *threshold*."""
+        valid_labels = np.asarray(valid_labels, dtype=int)
+        survivors, pruned = [], []
+        for j in range(valid_label_matrix.shape[1]):
+            outputs = valid_label_matrix[:, j]
+            fired = outputs != ABSTAIN
+            if not np.any(fired):
+                # An LF that never fires on the validation set provides no
+                # evidence either way; keep it (the structure step can still
+                # drop it).
+                survivors.append(j)
+                continue
+            accuracy = float(np.mean(outputs[fired] == valid_labels[fired]))
+            if accuracy <= threshold:
+                pruned.append(j)
+            else:
+                survivors.append(j)
+        return survivors, pruned
+
+    def _markov_blanket_select(
+        self,
+        survivors: list[int],
+        query_label_matrix: np.ndarray,
+        pseudo_labels: np.ndarray,
+    ) -> tuple[list[int], list[int]]:
+        """Keep survivors adjacent to the label in the glasso dependency graph."""
+        data = np.column_stack([
+            query_label_matrix[:, survivors].astype(float),
+            np.asarray(pseudo_labels, dtype=float),
+        ])
+        # Degenerate columns (constant output on every query instance) make
+        # the covariance singular; the shrinkage inside graphical_lasso
+        # handles that, but a fully constant matrix carries no structure.
+        if np.allclose(data.std(axis=0), 0.0):
+            return list(survivors), []
+
+        result = graphical_lasso(
+            data, alpha=self.glasso_alpha, shrinkage=0.1, max_iter=20, tol=1e-3
+        )
+        label_index = data.shape[1] - 1
+        blanket = markov_blanket(result.precision, target=label_index)
+        selected = [survivors[i] for i in blanket if i < len(survivors)]
+        pruned = [j for j in survivors if j not in selected]
+        return selected, pruned

@@ -1,0 +1,81 @@
+"""Pseudo-labelled subset curation (paper Section 3.1).
+
+ActiveDP never asks the user for instance labels directly.  Instead, when the
+user designs an LF after inspecting query instance ``x``, the LF's output on
+``x`` is taken as a pseudo-label for ``x`` (the LF "should be at least
+accurate on the corresponding query instance").  The accumulated pseudo-
+labelled subset trains the active-learning model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.labeling.lf import ABSTAIN, LabelFunction
+
+
+class PseudoLabeledSet:
+    """Accumulates (query instance, pseudo-label) pairs across iterations."""
+
+    def __init__(self):
+        self._indices: list[int] = []
+        self._labels: list[int] = []
+        self._lfs: list[LabelFunction] = []
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def add(self, query_index: int, lf: LabelFunction, dataset) -> int:
+        """Record the pseudo-label ``lf(x_query)`` for *query_index*.
+
+        Returns the pseudo-label (or :data:`ABSTAIN` when the LF abstains on
+        its own query instance, in which case nothing is recorded — this can
+        only happen with user-written LFs, never with the simulated user).
+        """
+        outputs = lf.apply(dataset.subset(np.array([query_index])))
+        pseudo_label = int(outputs[0])
+        if pseudo_label == ABSTAIN:
+            return ABSTAIN
+        self._indices.append(int(query_index))
+        self._labels.append(pseudo_label)
+        self._lfs.append(lf)
+        return pseudo_label
+
+    def add_direct(self, query_index: int, label: int) -> None:
+        """Record an explicit pseudo-label (used when the label is already known)."""
+        if label == ABSTAIN:
+            raise ValueError("cannot record an abstain pseudo-label")
+        self._indices.append(int(query_index))
+        self._labels.append(int(label))
+        self._lfs.append(None)
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Training-pool indices of the pseudo-labelled instances (query order)."""
+        return np.asarray(self._indices, dtype=int)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Pseudo-labels aligned with :attr:`indices`."""
+        return np.asarray(self._labels, dtype=int)
+
+    @property
+    def lfs(self) -> list[LabelFunction]:
+        """The LF that generated each pseudo-label (``None`` for direct labels)."""
+        return list(self._lfs)
+
+    def n_classes_observed(self) -> int:
+        """Number of distinct classes among the pseudo-labels."""
+        return len(set(self._labels))
+
+    def features(self, dataset) -> np.ndarray:
+        """Feature matrix of the pseudo-labelled instances."""
+        if not self._indices:
+            return np.empty((0, dataset.features.shape[1]))
+        return dataset.features[self.indices]
+
+    def accuracy(self, dataset) -> float:
+        """Accuracy of the pseudo-labels against ground truth (diagnostics only)."""
+        if not self._indices:
+            return 0.0
+        return float(np.mean(self.labels == dataset.labels[self.indices]))

@@ -1,0 +1,86 @@
+"""Run-history containers for interactive labelling runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IterationRecord:
+    """Snapshot of one interactive iteration.
+
+    Attributes
+    ----------
+    iteration:
+        Zero-based iteration number.
+    query_index:
+        Pool index shown to the user.
+    lf_name:
+        Name of the LF returned by the user (``None`` if no LF was returned).
+    pseudo_label:
+        Pseudo-label recorded for the query instance (``-1`` when none).
+    n_lfs:
+        Total number of LFs collected so far.
+    n_selected_lfs:
+        Number of LFs kept by LabelPick for the label model.
+    threshold:
+        ConFusion confidence threshold in effect (``None`` before the AL
+        model exists).
+    label_coverage:
+        Fraction of the training pool that received an aggregated label.
+    label_accuracy:
+        Accuracy of the aggregated labels on the covered training instances
+        (diagnostics; uses ground truth).
+    test_accuracy:
+        Downstream-model test accuracy, when evaluated at this iteration.
+    """
+
+    iteration: int
+    query_index: int
+    lf_name: str | None = None
+    pseudo_label: int = -1
+    n_lfs: int = 0
+    n_selected_lfs: int = 0
+    threshold: float | None = None
+    label_coverage: float | None = None
+    label_accuracy: float | None = None
+    test_accuracy: float | None = None
+
+
+@dataclass
+class RunHistory:
+    """Full history of an interactive run (one framework, one dataset, one seed)."""
+
+    framework: str
+    dataset: str
+    seed: int
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def add(self, record: IterationRecord) -> None:
+        """Append one iteration record."""
+        self.records.append(record)
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of recorded iterations."""
+        return len(self.records)
+
+    def evaluation_points(self) -> list[tuple[int, float]]:
+        """Return ``(iteration, test_accuracy)`` pairs where evaluation happened."""
+        return [
+            (record.iteration, record.test_accuracy)
+            for record in self.records
+            if record.test_accuracy is not None
+        ]
+
+    def average_test_accuracy(self) -> float:
+        """Average test accuracy over all evaluation points (area under the curve)."""
+        points = self.evaluation_points()
+        if not points:
+            return 0.0
+        return float(sum(acc for _, acc in points) / len(points))
+
+    def final_test_accuracy(self) -> float:
+        """Test accuracy at the last evaluation point."""
+        points = self.evaluation_points()
+        return points[-1][1] if points else 0.0

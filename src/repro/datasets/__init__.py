@@ -1,0 +1,40 @@
+"""Datasets: containers, synthetic generators and the benchmark registry.
+
+The paper evaluates on six public textual datasets (Youtube Spam, IMDB, Yelp,
+Amazon, Bios-PT, Bios-JP) and two tabular datasets (Occupancy, Census).  The
+environment is offline, so this package provides seeded synthetic generators
+that mimic each dataset's task structure — class-correlated keywords for text,
+single-feature threshold signal for tabular data — at a configurable scale.
+``load_dataset(name)`` is the single entry point used by examples, tests and
+benchmarks.
+"""
+
+from repro.datasets.base import DataSplit, Dataset, TabularDataset, TextDataset
+from repro.datasets.registry import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    dataset_names,
+    dataset_summary,
+    load_dataset,
+)
+from repro.datasets.synthetic_text import SyntheticTextConfig, generate_text_dataset
+from repro.datasets.synthetic_tabular import (
+    SyntheticTabularConfig,
+    generate_tabular_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "TextDataset",
+    "TabularDataset",
+    "DataSplit",
+    "SyntheticTextConfig",
+    "generate_text_dataset",
+    "SyntheticTabularConfig",
+    "generate_tabular_dataset",
+    "DatasetProfile",
+    "DATASET_PROFILES",
+    "load_dataset",
+    "dataset_names",
+    "dataset_summary",
+]

@@ -1,0 +1,266 @@
+"""Synthetic text-classification corpora.
+
+The real benchmark corpora (Youtube Spam, IMDB, Yelp, Amazon, Bios-PT,
+Bios-JP) are not available offline, so each is replaced by a seeded generative
+process with the same *structure* the paper's labelling dynamics rely on:
+
+* every class has a pool of **signal keywords** that occur much more often in
+  documents of that class than in the other classes, so keyword label
+  functions with accuracy above the paper's 0.6 threshold exist and differ in
+  coverage and precision;
+* documents also contain **background words** drawn from a Zipf-like
+  distribution that carry no class signal, so TF-IDF features are
+  high-dimensional and noisy exactly like real text;
+* per-keyword occurrence rates vary, so some user-returned LFs are much more
+  useful than others — the regime LabelPick is designed for.
+
+Class separability (``signal_strength`` vs ``noise_strength`` and the number
+of signal words) is tuned per dataset profile in the registry so the relative
+difficulty ordering of the paper's datasets (Youtube easy, Yelp/Amazon harder,
+Bios in between) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import DataSplit, TextDataset
+from repro.models.model_selection import train_valid_test_split
+from repro.text.tokenizer import tokenize
+from repro.text.vectorizer import TfidfVectorizer
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class SyntheticTextConfig:
+    """Parameters of the synthetic text generator.
+
+    Attributes
+    ----------
+    name, task:
+        Identifier and task description (propagated into the DataSplit).
+    n_documents:
+        Total number of documents before the 80/10/10 split.
+    n_classes:
+        Number of classes (all paper datasets are binary).
+    class_balance:
+        Prior over classes; ``None`` means uniform.
+    signal_words:
+        Mapping class -> list of keywords that indicate the class.  When
+        empty, ``n_signal_words`` synthetic keywords per class are generated.
+    n_signal_words:
+        Number of signal keywords generated per class when ``signal_words``
+        does not provide them.
+    signal_strength:
+        Peak probability that a signal keyword appears in a document of its
+        own class (individual keywords get decayed versions of this value).
+    noise_strength:
+        Probability that a signal keyword appears in a document of another
+        class (controls LF precision / task difficulty).
+    n_ambiguous_words:
+        Number of *ambiguous* keywords per class: words that lean toward one
+        class only moderately (accuracy just above the simulated user's 0.6
+        threshold) but occur in documents of both classes.  Real corpora are
+        full of such words; they are what makes the paper's label-noise
+        mechanism (an accurate-overall LF that misfires on its query
+        instance, Section 4.3.3) possible.
+    ambiguous_strength:
+        Occurrence probability of an ambiguous keyword in documents of its
+        leaning class; the other class sees it at 55 % of this rate, giving
+        LF accuracies around 0.62-0.67.
+    n_background_words:
+        Size of the class-independent background vocabulary.
+    background_words_per_doc:
+        Mean number of background tokens per document (Poisson).
+    max_features:
+        Cap on the TF-IDF vocabulary.
+    valid_fraction, test_fraction:
+        Split fractions (paper: 0.1 / 0.1).
+    """
+
+    name: str = "synthetic-text"
+    task: str = "Text classification"
+    n_documents: int = 1000
+    n_classes: int = 2
+    class_balance: tuple[float, ...] | None = None
+    signal_words: dict[int, list[str]] = field(default_factory=dict)
+    n_signal_words: int = 30
+    signal_strength: float = 0.35
+    noise_strength: float = 0.04
+    n_ambiguous_words: int = 8
+    ambiguous_strength: float = 0.15
+    n_background_words: int = 400
+    background_words_per_doc: float = 12.0
+    max_features: int = 3000
+    valid_fraction: float = 0.1
+    test_fraction: float = 0.1
+
+    def __post_init__(self):
+        if self.n_documents < 10:
+            raise ValueError("n_documents must be at least 10")
+        if self.n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        if not 0 < self.signal_strength <= 1:
+            raise ValueError("signal_strength must be in (0, 1]")
+        if not 0 <= self.noise_strength < self.signal_strength:
+            raise ValueError("noise_strength must be in [0, signal_strength)")
+        if self.class_balance is not None:
+            balance = np.asarray(self.class_balance, dtype=float)
+            if balance.shape != (self.n_classes,):
+                raise ValueError("class_balance must have one entry per class")
+            if np.any(balance <= 0):
+                raise ValueError("class_balance entries must be positive")
+
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _alpha_suffix(index: int, length: int = 3) -> str:
+    """Encode *index* as a fixed-length lowercase-letter string (base 26).
+
+    Generated tokens must be purely alphabetic so the word tokeniser keeps
+    them intact (digits would be stripped and distinct words would collide).
+    """
+    letters = []
+    for _ in range(length):
+        letters.append(_ALPHABET[index % 26])
+        index //= 26
+    return "".join(reversed(letters))
+
+
+def _build_signal_words(config: SyntheticTextConfig) -> dict[int, list[str]]:
+    """Return the per-class signal keyword lists, generating names if needed."""
+    words: dict[int, list[str]] = {}
+    for cls in range(config.n_classes):
+        provided = list(config.signal_words.get(cls, []))
+        needed = max(config.n_signal_words - len(provided), 0)
+        class_tag = _ALPHABET[cls % 26]
+        generated = [f"sig{class_tag}{_alpha_suffix(i)}" for i in range(needed)]
+        words[cls] = provided + generated
+    return words
+
+
+def _build_ambiguous_words(config: SyntheticTextConfig) -> dict[int, list[str]]:
+    """Per-class ambiguous keywords (moderately correlated with their class)."""
+    words: dict[int, list[str]] = {}
+    for cls in range(config.n_classes):
+        class_tag = _ALPHABET[cls % 26]
+        words[cls] = [
+            f"amb{class_tag}{_alpha_suffix(i)}" for i in range(config.n_ambiguous_words)
+        ]
+    return words
+
+
+def _background_vocabulary(config: SyntheticTextConfig) -> list[str]:
+    return [f"filler{_alpha_suffix(i)}" for i in range(config.n_background_words)]
+
+
+def generate_text_dataset(
+    config: SyntheticTextConfig,
+    random_state: RandomState = 0,
+) -> DataSplit:
+    """Generate a synthetic text classification :class:`DataSplit`.
+
+    The generator draws a class for every document, inserts class signal
+    keywords with per-keyword decayed probabilities, sprinkles in signal
+    keywords of *other* classes at ``noise_strength`` (these are what make
+    some candidate LFs fall below the accuracy threshold), and pads the
+    document with Zipf-distributed background words.  TF-IDF features are
+    fitted on the training split only.
+    """
+    rng = ensure_rng(random_state)
+    signal_words = _build_signal_words(config)
+    ambiguous_words = _build_ambiguous_words(config)
+    background = _background_vocabulary(config)
+
+    balance = (
+        np.asarray(config.class_balance, dtype=float)
+        if config.class_balance is not None
+        else np.full(config.n_classes, 1.0)
+    )
+    balance = balance / balance.sum()
+
+    # Per-keyword occurrence probability decays with keyword rank so LFs have
+    # a spread of coverages (a handful of frequent keywords, a long tail).
+    keyword_probs: dict[int, np.ndarray] = {}
+    for cls, words in signal_words.items():
+        ranks = np.arange(len(words))
+        keyword_probs[cls] = config.signal_strength * np.power(0.95, ranks)
+
+    # Zipf weights over the background vocabulary.
+    background_weights = 1.0 / np.arange(1, len(background) + 1)
+    background_weights /= background_weights.sum()
+
+    labels = rng.choice(config.n_classes, size=config.n_documents, p=balance)
+    documents: list[str] = []
+    for label in labels:
+        tokens: list[str] = []
+        for cls in range(config.n_classes):
+            probs = keyword_probs[cls] if cls == label else np.full(
+                len(signal_words[cls]), config.noise_strength
+            )
+            fires = rng.random(len(probs)) < probs
+            tokens.extend(word for word, fire in zip(signal_words[cls], fires) if fire)
+        for cls in range(config.n_classes):
+            rate = (
+                config.ambiguous_strength
+                if cls == label
+                else 0.55 * config.ambiguous_strength
+            )
+            fires = rng.random(len(ambiguous_words[cls])) < rate
+            tokens.extend(
+                word for word, fire in zip(ambiguous_words[cls], fires) if fire
+            )
+        n_background = rng.poisson(config.background_words_per_doc)
+        if n_background > 0:
+            tokens.extend(
+                rng.choice(background, size=n_background, p=background_weights).tolist()
+            )
+        if not tokens:
+            tokens = [background[int(rng.integers(len(background)))]]
+        rng.shuffle(tokens)
+        documents.append(" ".join(tokens))
+
+    train_idx, valid_idx, test_idx = train_valid_test_split(
+        config.n_documents,
+        valid_fraction=config.valid_fraction,
+        test_fraction=config.test_fraction,
+        stratify=labels,
+        random_state=rng,
+    )
+
+    vectorizer = TfidfVectorizer(min_df=2, max_features=config.max_features)
+    train_texts = [documents[i] for i in train_idx]
+    vectorizer.fit(train_texts)
+
+    def build_split(indices: np.ndarray, split_name: str) -> TextDataset:
+        texts = [documents[i] for i in indices]
+        token_sets = [frozenset(tokenize(text)) for text in texts]
+        features = vectorizer.transform(texts)
+        return TextDataset(
+            texts,
+            token_sets,
+            features,
+            labels[indices],
+            config.n_classes,
+            name=f"{config.name}/{split_name}",
+        )
+
+    metadata = {
+        "signal_words": signal_words,
+        "ambiguous_words": ambiguous_words,
+        "vectorizer": vectorizer,
+        "class_balance": balance.tolist(),
+        "config": config,
+    }
+    return DataSplit(
+        name=config.name,
+        task=config.task,
+        kind="text",
+        train=build_split(train_idx, "train"),
+        valid=build_split(valid_idx, "valid"),
+        test=build_split(test_idx, "test"),
+        metadata=metadata,
+    )

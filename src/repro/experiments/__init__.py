@@ -1,0 +1,44 @@
+"""Experiment harness: the paper's evaluation protocol and per-artefact runners.
+
+``repro.experiments.protocol`` implements the evaluation protocol of
+Section 4.1.3 (N simulated interactions, downstream-model evaluation every k
+iterations, multi-seed averaging); the remaining modules regenerate each
+artefact of the evaluation section:
+
+* :mod:`repro.experiments.table2` — dataset statistics (Table 2);
+* :mod:`repro.experiments.figure3` — end-to-end comparison curves (Figure 3);
+* :mod:`repro.experiments.ablation` — ablation study (Table 3);
+* :mod:`repro.experiments.samplers` — sampler study (Table 4);
+* :mod:`repro.experiments.noise` — label-noise study (Table 5).
+"""
+
+from repro.experiments.protocol import (
+    EvaluationProtocol,
+    FrameworkResult,
+    run_framework_on_dataset,
+)
+from repro.experiments.table2 import table2_dataset_statistics
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.ablation import run_table3_ablation
+from repro.experiments.samplers import run_table4_samplers
+from repro.experiments.noise import run_table5_label_noise
+from repro.experiments.reporting import (
+    format_curve_series,
+    format_result_table,
+    render_markdown_table,
+)
+
+__all__ = [
+    "EvaluationProtocol",
+    "FrameworkResult",
+    "run_framework_on_dataset",
+    "table2_dataset_statistics",
+    "Figure3Result",
+    "run_figure3",
+    "run_table3_ablation",
+    "run_table4_samplers",
+    "run_table5_label_noise",
+    "format_result_table",
+    "format_curve_series",
+    "render_markdown_table",
+]

@@ -1,0 +1,46 @@
+"""Table 3: ablation study of LabelPick and ConFusion.
+
+Four ActiveDP variants are compared (Section 4.3.1):
+
+* **Baseline** — all user-returned LFs train the label model, labels come
+  from the label model alone (``use_labelpick=False``, ``use_confusion=False``);
+* **LabelPick** — only LF selection enabled;
+* **ConFusion** — only confidence-based aggregation enabled;
+* **ActiveDP** — both techniques enabled.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ActiveDPConfig
+from repro.datasets import DATASET_PROFILES, dataset_names
+from repro.experiments.protocol import EvaluationProtocol, FrameworkResult, run_framework_on_dataset
+
+ABLATION_VARIANTS: dict[str, dict[str, bool]] = {
+    "Baseline": {"use_labelpick": False, "use_confusion": False},
+    "LabelPick": {"use_labelpick": True, "use_confusion": False},
+    "ConFusion": {"use_labelpick": False, "use_confusion": True},
+    "ActiveDP": {"use_labelpick": True, "use_confusion": True},
+}
+
+
+def run_table3_ablation(
+    protocol: EvaluationProtocol | None = None,
+    datasets: list[str] | None = None,
+    variants: list[str] | None = None,
+) -> dict[str, dict[str, FrameworkResult]]:
+    """Run the ablation study; returns ``variant -> dataset -> FrameworkResult``."""
+    protocol = protocol or EvaluationProtocol()
+    datasets = datasets or dataset_names()
+    variants = variants or list(ABLATION_VARIANTS)
+
+    results: dict[str, dict[str, FrameworkResult]] = {}
+    for variant in variants:
+        switches = ABLATION_VARIANTS[variant]
+        results[variant] = {}
+        for dataset in datasets:
+            kind = DATASET_PROFILES[dataset].kind
+            config = ActiveDPConfig.for_dataset_kind(kind, **switches)
+            results[variant][dataset] = run_framework_on_dataset(
+                "activedp", dataset, protocol, pipeline_kwargs={"config": config}
+            )
+    return results

@@ -1,0 +1,88 @@
+"""Figure 3: end-to-end performance comparison.
+
+Runs ActiveDP and the four baselines (Nemo, IWS, Revising LF, uncertainty
+sampling) on every benchmark dataset under the evaluation protocol and
+collects, per framework and dataset, the downstream model's performance
+curve and its average test accuracy.  Nemo is skipped on the tabular
+datasets, matching the paper (its SEU strategy targets textual data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets import DATASET_PROFILES, dataset_names
+from repro.experiments.protocol import EvaluationProtocol, FrameworkResult, run_framework_on_dataset
+
+FIGURE3_FRAMEWORKS = ["activedp", "nemo", "iws", "revising_lf", "uncertainty"]
+
+
+@dataclass
+class Figure3Result:
+    """All framework x dataset results for the end-to-end comparison.
+
+    Attributes
+    ----------
+    results:
+        Mapping ``dataset -> framework -> FrameworkResult``.
+    protocol:
+        The evaluation protocol used.
+    """
+
+    results: dict[str, dict[str, FrameworkResult]] = field(default_factory=dict)
+    protocol: EvaluationProtocol = field(default_factory=EvaluationProtocol)
+
+    def average_accuracy(self, framework: str) -> float:
+        """Mean average-accuracy of a framework over the datasets it ran on."""
+        values = [
+            per_framework[framework].average_accuracy
+            for per_framework in self.results.values()
+            if framework in per_framework
+        ]
+        return float(np.mean(values)) if values else 0.0
+
+    def improvement_over(self, baseline: str, method: str = "activedp") -> float:
+        """Mean accuracy improvement of *method* over *baseline* (paper Section 4.2)."""
+        deltas = []
+        for per_framework in self.results.values():
+            if baseline in per_framework and method in per_framework:
+                deltas.append(
+                    per_framework[method].average_accuracy
+                    - per_framework[baseline].average_accuracy
+                )
+        return float(np.mean(deltas)) if deltas else 0.0
+
+
+def run_figure3(
+    protocol: EvaluationProtocol | None = None,
+    datasets: list[str] | None = None,
+    frameworks: list[str] | None = None,
+) -> Figure3Result:
+    """Run the Figure 3 end-to-end comparison and return all results.
+
+    Parameters
+    ----------
+    protocol:
+        Evaluation protocol (scaled-down defaults when ``None``).
+    datasets:
+        Dataset subset (defaults to all eight of Table 2).
+    frameworks:
+        Framework subset (defaults to the five of Figure 3).
+    """
+    protocol = protocol or EvaluationProtocol()
+    datasets = datasets or dataset_names()
+    frameworks = frameworks or list(FIGURE3_FRAMEWORKS)
+
+    outcome = Figure3Result(protocol=protocol)
+    for dataset in datasets:
+        kind = DATASET_PROFILES[dataset].kind
+        outcome.results[dataset] = {}
+        for framework in frameworks:
+            if framework == "nemo" and kind == "tabular":
+                continue
+            outcome.results[dataset][framework] = run_framework_on_dataset(
+                framework, dataset, protocol
+            )
+    return outcome

@@ -1,0 +1,72 @@
+"""Plain-text / markdown rendering of experiment results.
+
+The benchmark scripts print the same row/column structure as the paper's
+tables (methods or settings as rows, datasets as columns) so the reproduced
+numbers can be compared against the published ones at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.protocol import FrameworkResult
+
+
+def format_result_table(
+    results: dict[str, dict[str, FrameworkResult]],
+    row_label: str = "Method",
+    precision: int = 4,
+) -> str:
+    """Render ``row -> dataset -> FrameworkResult`` as an aligned text table."""
+    rows = list(results)
+    datasets: list[str] = []
+    for per_dataset in results.values():
+        for dataset in per_dataset:
+            if dataset not in datasets:
+                datasets.append(dataset)
+
+    header = [row_label] + datasets
+    lines = []
+    widths = [max(len(header[0]), max((len(r) for r in rows), default=0))]
+    widths += [max(len(d), precision + 2) for d in datasets]
+
+    def format_row(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines.append(format_row(header))
+    lines.append(format_row(["-" * w for w in widths]))
+    for row in rows:
+        cells = [row]
+        for dataset in datasets:
+            result = results[row].get(dataset)
+            cells.append("-" if result is None else f"{result.average_accuracy:.{precision}f}")
+        lines.append(format_row(cells))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    results: dict[str, dict[str, FrameworkResult]],
+    row_label: str = "Method",
+    precision: int = 4,
+) -> str:
+    """Render ``row -> dataset -> FrameworkResult`` as a GitHub-markdown table."""
+    rows = list(results)
+    datasets: list[str] = []
+    for per_dataset in results.values():
+        for dataset in per_dataset:
+            if dataset not in datasets:
+                datasets.append(dataset)
+
+    lines = ["| " + " | ".join([row_label] + datasets) + " |"]
+    lines.append("|" + "|".join(["---"] * (len(datasets) + 1)) + "|")
+    for row in rows:
+        cells = [row]
+        for dataset in datasets:
+            result = results[row].get(dataset)
+            cells.append("-" if result is None else f"{result.average_accuracy:.{precision}f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def format_curve_series(result: FrameworkResult, precision: int = 4) -> str:
+    """Render one framework's performance curve as ``iteration:accuracy`` pairs."""
+    pairs = [f"{iteration}:{accuracy:.{precision}f}" for iteration, accuracy in result.curve]
+    return f"{result.framework} on {result.dataset}: " + " ".join(pairs)

@@ -1,0 +1,34 @@
+"""Table 2: datasets used in the evaluation.
+
+Regenerates the dataset-statistics table.  Because the offline corpora are
+synthetic stand-ins, each row reports both the paper's split sizes and the
+sizes actually generated at the requested scale.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import dataset_names, dataset_summary, load_dataset
+from repro.utils.rng import RandomState
+
+
+def table2_dataset_statistics(
+    scale: float = 1.0,
+    random_state: RandomState = 0,
+    names: list[str] | None = None,
+) -> list[dict]:
+    """Return one Table-2 row (dict) per benchmark dataset.
+
+    Parameters
+    ----------
+    scale:
+        Synthetic-corpus scale factor.
+    random_state:
+        Generator seed.
+    names:
+        Optional subset of dataset names (defaults to all eight).
+    """
+    rows = []
+    for name in names or dataset_names():
+        split = load_dataset(name, scale=scale, random_state=random_state)
+        rows.append(dataset_summary(split))
+    return rows

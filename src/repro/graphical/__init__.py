@@ -1,0 +1,24 @@
+"""Sparse graphical-model substrate used by the LabelPick LF selector.
+
+LabelPick (paper Section 3.4) learns the dependency structure between label
+functions and the class label with the graphical lasso [Friedman et al. 2008]
+and keeps the label functions inside the Markov blanket of the label.  This
+package implements the estimator stack from scratch: empirical covariance,
+an L1-penalised (lasso) coordinate-descent inner solver, the block
+coordinate-descent graphical lasso, and helpers to read the Markov blanket
+off the estimated precision matrix.
+"""
+
+from repro.graphical.covariance import empirical_covariance
+from repro.graphical.lasso import lasso_coordinate_descent
+from repro.graphical.glasso import GraphicalLassoResult, graphical_lasso
+from repro.graphical.markov_blanket import dependency_graph, markov_blanket
+
+__all__ = [
+    "empirical_covariance",
+    "lasso_coordinate_descent",
+    "graphical_lasso",
+    "GraphicalLassoResult",
+    "markov_blanket",
+    "dependency_graph",
+]

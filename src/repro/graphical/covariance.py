@@ -1,0 +1,36 @@
+"""Empirical covariance estimation with optional shrinkage."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+def empirical_covariance(X, assume_centered: bool = False, shrinkage: float = 0.0) -> np.ndarray:
+    """Return the (optionally shrunk) empirical covariance matrix of *X*.
+
+    Parameters
+    ----------
+    X:
+        Data matrix of shape ``(n_samples, n_features)``.
+    assume_centered:
+        If ``True`` the data is not recentred before computing the covariance.
+    shrinkage:
+        Convex combination weight toward the scaled identity
+        (``shrinkage * trace/p * I``), in ``[0, 1]``.  A little shrinkage keeps
+        the matrix well-conditioned when the labelled subset is tiny, which is
+        exactly the regime LabelPick operates in early in a run.
+    """
+    X = check_2d(X, "X")
+    if not 0.0 <= shrinkage <= 1.0:
+        raise ValueError(f"shrinkage must be in [0, 1], got {shrinkage}")
+    if not assume_centered:
+        X = X - X.mean(axis=0)
+    n_samples = X.shape[0]
+    covariance = (X.T @ X) / max(n_samples, 1)
+    if shrinkage > 0.0:
+        p = covariance.shape[0]
+        mu = np.trace(covariance) / p
+        covariance = (1.0 - shrinkage) * covariance + shrinkage * mu * np.eye(p)
+    return covariance

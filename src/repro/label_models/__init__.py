@@ -1,0 +1,40 @@
+"""Label models: aggregate noisy LF outputs into probabilistic labels.
+
+The paper uses MeTaL [Ratner et al. 2019] as the label model; this package
+provides an equivalent accuracy-parameterised model plus two simpler
+alternatives (majority vote and an EM-trained generative model) so that the
+label-model choice can itself be ablated.
+"""
+
+from repro.label_models.base import BaseLabelModel
+from repro.label_models.majority_vote import MajorityVoteLabelModel
+from repro.label_models.generative import GenerativeLabelModel
+from repro.label_models.metal import MeTaLLabelModel
+
+__all__ = [
+    "BaseLabelModel",
+    "MajorityVoteLabelModel",
+    "GenerativeLabelModel",
+    "MeTaLLabelModel",
+    "get_label_model",
+]
+
+_REGISTRY = {
+    "majority_vote": MajorityVoteLabelModel,
+    "generative": GenerativeLabelModel,
+    "metal": MeTaLLabelModel,
+}
+
+
+def get_label_model(name: str, **kwargs) -> BaseLabelModel:
+    """Instantiate a label model by registry name.
+
+    Valid names: ``"majority_vote"``, ``"generative"``, ``"metal"``.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown label model {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

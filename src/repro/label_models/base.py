@@ -1,0 +1,58 @@
+"""Common interface for label models."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.labeling.lf import ABSTAIN
+
+
+class BaseLabelModel(abc.ABC):
+    """Aggregates a label matrix into probabilistic labels.
+
+    All label models share the convention that an instance on which *every*
+    LF abstains receives the uniform distribution; the caller (ConFusion, or
+    the coverage mask) decides whether such instances are used at all.
+    """
+
+    def __init__(self, n_classes: int = 2):
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        self.n_classes = n_classes
+
+    @abc.abstractmethod
+    def fit(self, label_matrix: np.ndarray, **kwargs) -> "BaseLabelModel":
+        """Estimate model parameters from the label matrix."""
+
+    @abc.abstractmethod
+    def predict_proba(self, label_matrix: np.ndarray) -> np.ndarray:
+        """Return ``(n_instances, n_classes)`` probabilistic labels."""
+
+    def predict(self, label_matrix: np.ndarray, abstain_uncovered: bool = False) -> np.ndarray:
+        """Return hard labels; optionally abstain on fully-uncovered rows."""
+        label_matrix = self._validate_matrix(label_matrix)
+        proba = self.predict_proba(label_matrix)
+        labels = np.argmax(proba, axis=1)
+        if abstain_uncovered:
+            uncovered = ~np.any(label_matrix != ABSTAIN, axis=1) if label_matrix.shape[1] else np.ones(len(labels), dtype=bool)
+            labels = labels.copy()
+            labels[uncovered] = ABSTAIN
+        return labels
+
+    # -------------------------------------------------------------- helpers
+    def _validate_matrix(self, label_matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(label_matrix, dtype=int)
+        if matrix.ndim != 2:
+            raise ValueError("label_matrix must be 2-dimensional")
+        valid = (matrix == ABSTAIN) | ((matrix >= 0) & (matrix < self.n_classes))
+        if not np.all(valid):
+            raise ValueError(
+                "label_matrix contains labels outside "
+                f"[0, {self.n_classes}) and != ABSTAIN"
+            )
+        return matrix
+
+    def _uniform(self, n_instances: int) -> np.ndarray:
+        return np.full((n_instances, self.n_classes), 1.0 / self.n_classes)

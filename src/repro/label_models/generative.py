@@ -1,0 +1,192 @@
+"""Generative label model: Dawid-Skene-style EM with an abstain outcome.
+
+Each LF *j* is modelled by a full conditional probability table over its
+possible outputs (abstain or one of the C classes) given the true label:
+
+    theta_j[y, v] = P(W_ij = v | Y_i = y),   v in {abstain, 0, ..., C-1}
+
+and the class balance P(Y) is held fixed (uniform by default, or provided by
+the caller).  EM alternates between computing posterior class
+responsibilities for every instance and re-estimating the CPTs from those
+responsibilities with Laplace smoothing.
+
+Modelling the *abstain* outcome explicitly matters for data programming with
+unipolar LFs (e.g. keyword LFs that only ever vote for one class): whether
+such an LF fires at all is informative about the label, and ignoring
+abstentions makes the likelihood degenerate (a "every instance belongs to one
+class and the other class's LFs are liars" solution explains fired votes
+better than the truth).  Holding the class balance fixed removes the
+remaining label-switching symmetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.label_models.base import BaseLabelModel
+from repro.labeling.lf import ABSTAIN
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class GenerativeLabelModel(BaseLabelModel):
+    """EM-trained Dawid-Skene label model with abstain-aware CPTs.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes.
+    max_iter:
+        Maximum EM iterations.
+    tol:
+        Convergence threshold on the mean absolute change in responsibilities.
+    smoothing:
+        Laplace pseudo-count used in every M-step ratio.
+    class_balance:
+        Fixed class prior; ``None`` means uniform.
+    random_state:
+        Seed for the small responsibility jitter used at initialisation.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 2,
+        max_iter: int = 100,
+        tol: float = 1e-5,
+        smoothing: float = 1.0,
+        class_balance: np.ndarray | None = None,
+        random_state: RandomState = 0,
+    ):
+        super().__init__(n_classes=n_classes)
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.random_state = random_state
+        if class_balance is not None:
+            class_balance = np.asarray(class_balance, dtype=float)
+            if class_balance.shape != (n_classes,):
+                raise ValueError("class_balance must have shape (n_classes,)")
+            if np.any(class_balance <= 0):
+                raise ValueError("class_balance entries must be positive")
+            class_balance = class_balance / class_balance.sum()
+        self.class_balance = class_balance
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, label_matrix: np.ndarray, **kwargs) -> "GenerativeLabelModel":
+        """Run EM to estimate the per-LF conditional probability tables."""
+        matrix = self._validate_matrix(label_matrix)
+        n_instances, n_lfs = matrix.shape
+        rng = ensure_rng(self.random_state)
+
+        self.class_priors_ = (
+            self.class_balance
+            if self.class_balance is not None
+            else np.full(self.n_classes, 1.0 / self.n_classes)
+        )
+        if n_lfs == 0 or n_instances == 0:
+            self.cpts_ = np.zeros((n_lfs, self.n_classes, self.n_classes + 1))
+            self.n_iter_ = 0
+            return self
+
+        # Outcome encoding: column 0 = abstain, column 1+c = vote for class c.
+        outcomes = self._encode(matrix)
+
+        # Initialise responsibilities from a slightly jittered majority vote so
+        # EM starts near a sensible solution.
+        responsibilities = self._initial_responsibilities(matrix, rng)
+        self.n_iter_ = 0
+        previous = None
+        for iteration in range(1, self.max_iter + 1):
+            self.cpts_ = self._m_step(outcomes, responsibilities)
+            responsibilities = self._e_step(outcomes)
+            self.n_iter_ = iteration
+            if previous is not None:
+                change = float(np.mean(np.abs(responsibilities - previous)))
+                if change < self.tol:
+                    break
+            previous = responsibilities
+        return self
+
+    # -------------------------------------------------------------- predict
+    def predict_proba(self, label_matrix: np.ndarray) -> np.ndarray:
+        """Posterior class probabilities under the fitted CPTs."""
+        if not hasattr(self, "cpts_"):
+            raise RuntimeError("GenerativeLabelModel is not fitted yet; call fit() first")
+        matrix = self._validate_matrix(label_matrix)
+        if matrix.shape[1] != self.cpts_.shape[0]:
+            raise ValueError(
+                f"label_matrix has {matrix.shape[1]} LF columns, model was "
+                f"fitted with {self.cpts_.shape[0]}"
+            )
+        if matrix.shape[1] == 0:
+            return self._uniform(matrix.shape[0])
+        proba = self._e_step(self._encode(matrix))
+        uncovered = ~np.any(matrix != ABSTAIN, axis=1)
+        proba[uncovered] = 1.0 / self.n_classes
+        return proba
+
+    # -------------------------------------------------- derived diagnostics
+    @property
+    def accuracies_(self) -> np.ndarray:
+        """Per-LF accuracy conditional on firing, derived from the CPTs."""
+        if not hasattr(self, "cpts_"):
+            raise RuntimeError("GenerativeLabelModel is not fitted yet; call fit() first")
+        n_lfs = self.cpts_.shape[0]
+        result = np.zeros(n_lfs)
+        for j in range(n_lfs):
+            correct = 0.0
+            fired = 0.0
+            for y in range(self.n_classes):
+                weight = self.class_priors_[y]
+                fire_proba = 1.0 - self.cpts_[j, y, 0]
+                correct += weight * self.cpts_[j, y, 1 + y]
+                fired += weight * fire_proba
+            result[j] = correct / fired if fired > 0 else 0.5
+        return result
+
+    @property
+    def propensities_(self) -> np.ndarray:
+        """Per-LF marginal firing probability, derived from the CPTs."""
+        if not hasattr(self, "cpts_"):
+            raise RuntimeError("GenerativeLabelModel is not fitted yet; call fit() first")
+        fire = 1.0 - self.cpts_[:, :, 0]
+        return fire @ self.class_priors_
+
+    # ------------------------------------------------------------- internals
+    def _encode(self, matrix: np.ndarray) -> np.ndarray:
+        """Map votes to outcome indices: abstain -> 0, class c -> 1 + c."""
+        return np.where(matrix == ABSTAIN, 0, matrix + 1)
+
+    def _initial_responsibilities(
+        self, matrix: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n_instances = matrix.shape[0]
+        counts = np.zeros((n_instances, self.n_classes))
+        for cls in range(self.n_classes):
+            counts[:, cls] = np.sum(matrix == cls, axis=1)
+        counts += 0.5 + 0.05 * rng.random(counts.shape)
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def _m_step(self, outcomes: np.ndarray, responsibilities: np.ndarray) -> np.ndarray:
+        n_lfs = outcomes.shape[1]
+        n_outcomes = self.n_classes + 1
+        cpts = np.zeros((n_lfs, self.n_classes, n_outcomes))
+        for j in range(n_lfs):
+            for outcome in range(n_outcomes):
+                mask = outcomes[:, j] == outcome
+                cpts[j, :, outcome] = responsibilities[mask].sum(axis=0)
+        cpts += self.smoothing
+        cpts /= cpts.sum(axis=2, keepdims=True)
+        return cpts
+
+    def _e_step(self, outcomes: np.ndarray) -> np.ndarray:
+        n_instances, n_lfs = outcomes.shape
+        log_proba = np.tile(
+            np.log(np.clip(self.class_priors_, 1e-12, 1.0)), (n_instances, 1)
+        )
+        log_cpts = np.log(np.clip(self.cpts_, 1e-12, 1.0))
+        for j in range(n_lfs):
+            log_proba += log_cpts[j, :, outcomes[:, j]]
+        log_proba -= log_proba.max(axis=1, keepdims=True)
+        proba = np.exp(log_proba)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba

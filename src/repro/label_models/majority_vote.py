@@ -1,0 +1,54 @@
+"""Majority-vote label model.
+
+The simplest aggregator: each instance's probabilistic label is the
+(normalised, Laplace-smoothed) histogram of the non-abstaining LF votes.
+Serves as a baseline label model and as a fallback when too few LFs exist to
+fit a parametric model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.label_models.base import BaseLabelModel
+from repro.labeling.lf import ABSTAIN
+
+
+class MajorityVoteLabelModel(BaseLabelModel):
+    """Probabilistic majority vote over non-abstaining LFs.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes in the task.
+    smoothing:
+        Pseudo-count added to every class before normalising, so ties and
+        single-vote instances keep calibrated (non-degenerate) probabilities.
+    """
+
+    def __init__(self, n_classes: int = 2, smoothing: float = 0.5):
+        super().__init__(n_classes=n_classes)
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.smoothing = smoothing
+
+    def fit(self, label_matrix: np.ndarray, **kwargs) -> "MajorityVoteLabelModel":
+        """Majority vote has no parameters; fitting only validates the matrix."""
+        self._validate_matrix(label_matrix)
+        return self
+
+    def predict_proba(self, label_matrix: np.ndarray) -> np.ndarray:
+        """Return the smoothed vote histogram for every instance."""
+        matrix = self._validate_matrix(label_matrix)
+        n_instances = matrix.shape[0]
+        proba = np.full((n_instances, self.n_classes), self.smoothing)
+        for cls in range(self.n_classes):
+            proba[:, cls] += np.sum(matrix == cls, axis=1) if matrix.shape[1] else 0.0
+        proba /= proba.sum(axis=1, keepdims=True)
+        # Fully-abstained rows get the uniform distribution explicitly.
+        if matrix.shape[1]:
+            uncovered = ~np.any(matrix != ABSTAIN, axis=1)
+        else:
+            uncovered = np.ones(n_instances, dtype=bool)
+        proba[uncovered] = 1.0 / self.n_classes
+        return proba

@@ -1,0 +1,30 @@
+"""Data-programming substrate: label functions and label-matrix machinery.
+
+A label function (LF) maps an instance to a class label or abstains
+(``ABSTAIN = -1``).  This package provides the LF abstractions used by the
+simulated user (keyword LFs for text, decision-stump LFs for tabular data),
+applies LF sets to datasets to produce label matrices, and computes the
+standard LF diagnostics (coverage, overlap, conflict, empirical accuracy).
+"""
+
+from repro.labeling.lf import (
+    ABSTAIN,
+    KeywordLF,
+    LabelFunction,
+    LambdaLF,
+    ThresholdLF,
+)
+from repro.labeling.label_matrix import apply_lfs, label_matrix_from_outputs
+from repro.labeling.analysis import LFAnalysis, LFSummary
+
+__all__ = [
+    "ABSTAIN",
+    "LabelFunction",
+    "KeywordLF",
+    "ThresholdLF",
+    "LambdaLF",
+    "apply_lfs",
+    "label_matrix_from_outputs",
+    "LFAnalysis",
+    "LFSummary",
+]

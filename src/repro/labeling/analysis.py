@@ -1,0 +1,166 @@
+"""Label-function diagnostics.
+
+Mirrors Snorkel's ``LFAnalysis``: per-LF coverage, overlap, conflict, and —
+when gold labels are available (e.g. on the validation split) — empirical
+accuracy.  These statistics drive LabelPick's accuracy pruning step and are
+also reported by the example scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.labeling.lf import ABSTAIN
+
+
+@dataclass
+class LFSummary:
+    """Per-LF statistics.
+
+    Attributes
+    ----------
+    name:
+        LF identifier.
+    polarity:
+        Sorted tuple of the class labels the LF emits.
+    coverage:
+        Fraction of instances the LF labels.
+    overlap:
+        Fraction of instances where the LF labels and at least one other LF
+        also labels.
+    conflict:
+        Fraction of instances where the LF labels and at least one other LF
+        emits a different label.
+    accuracy:
+        Empirical accuracy on instances the LF labels (``None`` without gold
+        labels, ``0.0`` if the LF never fires).
+    n_correct, n_labeled:
+        Raw counts behind ``accuracy``.
+    """
+
+    name: str
+    polarity: tuple[int, ...]
+    coverage: float
+    overlap: float
+    conflict: float
+    accuracy: float | None
+    n_correct: int
+    n_labeled: int
+
+
+class LFAnalysis:
+    """Compute summary statistics for a label matrix.
+
+    Parameters
+    ----------
+    label_matrix:
+        ``(n_instances, n_lfs)`` matrix with ``-1`` for abstentions.
+    lf_names:
+        Optional LF names (defaults to ``lf_0 .. lf_{m-1}``).
+    """
+
+    def __init__(self, label_matrix: np.ndarray, lf_names: list[str] | None = None):
+        label_matrix = np.asarray(label_matrix, dtype=int)
+        if label_matrix.ndim != 2:
+            raise ValueError("label_matrix must be 2-dimensional")
+        self.label_matrix = label_matrix
+        n_lfs = label_matrix.shape[1]
+        if lf_names is None:
+            lf_names = [f"lf_{j}" for j in range(n_lfs)]
+        if len(lf_names) != n_lfs:
+            raise ValueError("lf_names length must match the number of LF columns")
+        self.lf_names = list(lf_names)
+
+    # ------------------------------------------------------------ aggregates
+    def coverage(self) -> np.ndarray:
+        """Per-LF fraction of labelled instances."""
+        if self.label_matrix.shape[1] == 0:
+            return np.zeros(0)
+        return np.mean(self.label_matrix != ABSTAIN, axis=0)
+
+    def overall_coverage(self) -> float:
+        """Fraction of instances labelled by at least one LF."""
+        if self.label_matrix.shape[1] == 0:
+            return 0.0
+        return float(np.mean(np.any(self.label_matrix != ABSTAIN, axis=1)))
+
+    def overlap(self) -> np.ndarray:
+        """Per-LF fraction of instances shared with at least one other LF."""
+        matrix = self.label_matrix
+        n_instances, n_lfs = matrix.shape
+        if n_lfs == 0:
+            return np.zeros(0)
+        active = matrix != ABSTAIN
+        active_counts = active.sum(axis=1)
+        result = np.zeros(n_lfs)
+        for j in range(n_lfs):
+            both = active[:, j] & (active_counts >= 2)
+            result[j] = both.mean() if n_instances else 0.0
+        return result
+
+    def conflict(self) -> np.ndarray:
+        """Per-LF fraction of instances where another LF disagrees."""
+        matrix = self.label_matrix
+        n_instances, n_lfs = matrix.shape
+        if n_lfs == 0:
+            return np.zeros(0)
+        active = matrix != ABSTAIN
+        result = np.zeros(n_lfs)
+        for j in range(n_lfs):
+            conflicts = np.zeros(n_instances, dtype=bool)
+            for k in range(n_lfs):
+                if k == j:
+                    continue
+                disagrees = active[:, j] & active[:, k] & (matrix[:, j] != matrix[:, k])
+                conflicts |= disagrees
+            result[j] = conflicts.mean() if n_instances else 0.0
+        return result
+
+    def accuracies(self, y_true: np.ndarray) -> np.ndarray:
+        """Per-LF empirical accuracy on labelled instances (0 if never fires)."""
+        y_true = np.asarray(y_true, dtype=int)
+        matrix = self.label_matrix
+        if len(y_true) != matrix.shape[0]:
+            raise ValueError("y_true length must match the label matrix rows")
+        result = np.zeros(matrix.shape[1])
+        for j in range(matrix.shape[1]):
+            fired = matrix[:, j] != ABSTAIN
+            if not np.any(fired):
+                result[j] = 0.0
+                continue
+            result[j] = float(np.mean(matrix[fired, j] == y_true[fired]))
+        return result
+
+    # --------------------------------------------------------------- summary
+    def summary(self, y_true: np.ndarray | None = None) -> list[LFSummary]:
+        """Return one :class:`LFSummary` per LF."""
+        matrix = self.label_matrix
+        coverage = self.coverage()
+        overlap = self.overlap()
+        conflict = self.conflict()
+        accuracies = self.accuracies(y_true) if y_true is not None else None
+
+        summaries = []
+        for j, name in enumerate(self.lf_names):
+            fired = matrix[:, j] != ABSTAIN
+            labels = tuple(sorted(set(matrix[fired, j].tolist()))) if np.any(fired) else ()
+            n_labeled = int(fired.sum())
+            if y_true is not None and n_labeled:
+                n_correct = int(np.sum(matrix[fired, j] == np.asarray(y_true)[fired]))
+            else:
+                n_correct = 0
+            summaries.append(
+                LFSummary(
+                    name=name,
+                    polarity=labels,
+                    coverage=float(coverage[j]),
+                    overlap=float(overlap[j]),
+                    conflict=float(conflict[j]),
+                    accuracy=float(accuracies[j]) if accuracies is not None else None,
+                    n_correct=n_correct,
+                    n_labeled=n_labeled,
+                )
+            )
+        return summaries

@@ -1,0 +1,55 @@
+"""Constructing label matrices from sets of label functions.
+
+The label matrix ``W`` has one row per instance and one column per LF, with
+``W[i, j] = lf_j(x_i)`` and ``-1`` for abstention — the standard data-
+programming representation consumed by every label model in
+``repro.label_models``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.labeling.lf import ABSTAIN, LabelFunction
+
+
+def apply_lfs(lfs: Sequence[LabelFunction], dataset) -> np.ndarray:
+    """Apply every LF in *lfs* to *dataset* and stack the outputs column-wise.
+
+    Returns an ``(n_instances, n_lfs)`` integer matrix; an empty LF list
+    yields an ``(n_instances, 0)`` matrix so downstream shapes stay valid.
+    """
+    n_instances = len(dataset)
+    if len(lfs) == 0:
+        return np.empty((n_instances, 0), dtype=int)
+    columns = []
+    for lf in lfs:
+        output = np.asarray(lf.apply(dataset), dtype=int)
+        if output.shape != (n_instances,):
+            raise ValueError(
+                f"LF {lf.name!r} returned shape {output.shape}, "
+                f"expected ({n_instances},)"
+            )
+        columns.append(output)
+    return np.column_stack(columns)
+
+
+def label_matrix_from_outputs(outputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack precomputed per-LF output vectors into a label matrix."""
+    if len(outputs) == 0:
+        raise ValueError("outputs must contain at least one LF output vector")
+    lengths = {len(o) for o in outputs}
+    if len(lengths) != 1:
+        raise ValueError(f"LF outputs have inconsistent lengths: {sorted(lengths)}")
+    return np.column_stack([np.asarray(o, dtype=int) for o in outputs])
+
+
+def coverage_mask(label_matrix: np.ndarray) -> np.ndarray:
+    """Boolean mask of instances covered by at least one non-abstaining LF."""
+    if label_matrix.ndim != 2:
+        raise ValueError("label_matrix must be 2-dimensional")
+    if label_matrix.shape[1] == 0:
+        return np.zeros(label_matrix.shape[0], dtype=bool)
+    return np.any(label_matrix != ABSTAIN, axis=1)

@@ -1,0 +1,43 @@
+"""Abstract classifier interface shared by all models in the library."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class BaseClassifier(abc.ABC):
+    """Minimal probabilistic-classifier interface.
+
+    Every classifier exposes ``fit``, ``predict_proba`` and ``predict`` with
+    NumPy arrays, mirroring the scikit-learn conventions the paper relies on.
+    Subclasses must set ``classes_`` and ``n_classes_`` during ``fit``.
+    """
+
+    classes_: np.ndarray
+    n_classes_: int
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray | None = None):
+        """Fit the classifier and return ``self``."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Return an ``(n_samples, n_classes)`` matrix of class probabilities."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Return hard class labels (argmax of ``predict_proba``)."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Return mean accuracy on the given data."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    def _check_is_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted yet; call fit() first"
+            )

@@ -1,0 +1,93 @@
+"""Single-feature decision stump classifier.
+
+The paper's simulated user for tabular datasets writes label functions that
+are decision stumps (``x_j >= v -> class y``).  This module provides both a
+standalone stump classifier (used in tests and as a weak committee member)
+whose threshold is chosen to maximise weighted accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseClassifier
+from repro.utils.validation import check_2d, check_consistent_length, check_labels
+
+
+class DecisionStump(BaseClassifier):
+    """Axis-aligned one-split classifier.
+
+    Parameters
+    ----------
+    n_thresholds:
+        Number of candidate thresholds (quantiles of each feature) examined
+        per feature during fitting.
+    n_classes:
+        Optional fixed class count.
+    """
+
+    def __init__(self, n_thresholds: int = 32, n_classes: int | None = None):
+        if n_thresholds < 1:
+            raise ValueError("n_thresholds must be >= 1")
+        self.n_thresholds = n_thresholds
+        self.n_classes = n_classes
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionStump":
+        """Search features x quantile thresholds for the best weighted split."""
+        X = check_2d(X, "X")
+        y = check_labels(y, name="y")
+        check_consistent_length(X, y)
+        if sample_weight is None:
+            sample_weight = np.ones(len(y))
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+
+        observed = np.unique(y)
+        total = self.n_classes if self.n_classes is not None else int(observed.max()) + 1
+        total = max(total, int(observed.max()) + 1, 2)
+        self.classes_ = np.arange(total)
+        self.n_classes_ = total
+        self.n_features_in_ = X.shape[1]
+
+        best = (-np.inf, 0, 0.0, 0, 0)  # score, feature, threshold, left_class, right_class
+        quantiles = np.linspace(0.05, 0.95, self.n_thresholds)
+        for feature in range(X.shape[1]):
+            values = X[:, feature]
+            thresholds = np.unique(np.quantile(values, quantiles))
+            for threshold in thresholds:
+                right = values >= threshold
+                left = ~right
+                left_class, left_score = self._best_class(y[left], sample_weight[left], total)
+                right_class, right_score = self._best_class(y[right], sample_weight[right], total)
+                score = left_score + right_score
+                if score > best[0]:
+                    best = (score, feature, float(threshold), left_class, right_class)
+        _, self.feature_, self.threshold_, self.left_class_, self.right_class_ = best
+
+        # Per-side class frequencies give smoothed probability estimates.
+        right_mask = X[:, self.feature_] >= self.threshold_
+        self.right_proba_ = self._side_proba(y[right_mask], sample_weight[right_mask], total)
+        self.left_proba_ = self._side_proba(y[~right_mask], sample_weight[~right_mask], total)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return smoothed per-side class frequencies."""
+        self._check_is_fitted()
+        X = check_2d(X, "X")
+        right = X[:, self.feature_] >= self.threshold_
+        proba = np.where(right[:, None], self.right_proba_, self.left_proba_)
+        return proba
+
+    @staticmethod
+    def _best_class(y_side, weights, n_classes) -> tuple[int, float]:
+        if len(y_side) == 0:
+            return 0, 0.0
+        counts = np.bincount(y_side, weights=weights, minlength=n_classes)
+        cls = int(np.argmax(counts))
+        return cls, float(counts[cls])
+
+    @staticmethod
+    def _side_proba(y_side, weights, n_classes) -> np.ndarray:
+        counts = np.bincount(y_side, weights=weights, minlength=n_classes) if len(y_side) else np.zeros(n_classes)
+        smoothed = counts + 1.0
+        return smoothed / smoothed.sum()

@@ -1,0 +1,106 @@
+"""Classification metrics used throughout the evaluation harness.
+
+The paper reports downstream test-set accuracy, but internally the framework
+also needs label *coverage* (fraction of instances that received a label at
+all) and per-class precision/recall/F1 for analysis, so all of these are
+provided here with explicit handling of abstentions (label ``-1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_consistent_length
+
+ABSTAIN = -1
+
+
+def accuracy_score(y_true, y_pred, ignore_abstain: bool = False) -> float:
+    """Fraction of correct predictions.
+
+    Parameters
+    ----------
+    y_true, y_pred:
+        Integer label vectors.  ``y_pred`` may contain ``-1`` (abstain).
+    ignore_abstain:
+        If ``True``, abstained predictions are excluded from the denominator;
+        if no prediction remains the score is ``0.0``.  If ``False`` abstains
+        simply count as errors.
+    """
+    y_true = check_1d(y_true, "y_true")
+    y_pred = check_1d(y_pred, "y_pred")
+    check_consistent_length(y_true, y_pred)
+    if ignore_abstain:
+        mask = y_pred != ABSTAIN
+        if not np.any(mask):
+            return 0.0
+        return float(np.mean(y_true[mask] == y_pred[mask]))
+    return float(np.mean(y_true == y_pred))
+
+
+def coverage_score(y_pred) -> float:
+    """Fraction of instances with a non-abstain prediction."""
+    y_pred = check_1d(y_pred, "y_pred")
+    if y_pred.size == 0:
+        return 0.0
+    return float(np.mean(y_pred != ABSTAIN))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int | None = None) -> np.ndarray:
+    """Return the ``(C, C)`` confusion matrix, ignoring abstains in y_pred."""
+    y_true = check_1d(y_true, "y_true").astype(int)
+    y_pred = check_1d(y_pred, "y_pred").astype(int)
+    check_consistent_length(y_true, y_pred)
+    if n_classes is None:
+        valid = y_pred[y_pred != ABSTAIN]
+        candidates = [y_true.max()] + ([valid.max()] if valid.size else [])
+        n_classes = int(max(candidates)) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=int)
+    for true, pred in zip(y_true, y_pred):
+        if pred == ABSTAIN:
+            continue
+        matrix[true, pred] += 1
+    return matrix
+
+
+def precision_score(y_true, y_pred, positive_class: int = 1) -> float:
+    """Precision for *positive_class* (0 when nothing is predicted positive)."""
+    y_true = check_1d(y_true, "y_true")
+    y_pred = check_1d(y_pred, "y_pred")
+    check_consistent_length(y_true, y_pred)
+    predicted = y_pred == positive_class
+    if not np.any(predicted):
+        return 0.0
+    return float(np.mean(y_true[predicted] == positive_class))
+
+
+def recall_score(y_true, y_pred, positive_class: int = 1) -> float:
+    """Recall for *positive_class* (0 when the class is absent from y_true)."""
+    y_true = check_1d(y_true, "y_true")
+    y_pred = check_1d(y_pred, "y_pred")
+    check_consistent_length(y_true, y_pred)
+    actual = y_true == positive_class
+    if not np.any(actual):
+        return 0.0
+    return float(np.mean(y_pred[actual] == positive_class))
+
+
+def f1_score(y_true, y_pred, positive_class: int = 1) -> float:
+    """Harmonic mean of precision and recall for *positive_class*."""
+    precision = precision_score(y_true, y_pred, positive_class)
+    recall = recall_score(y_true, y_pred, positive_class)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def log_loss(y_true, proba, eps: float = 1e-12) -> float:
+    """Multiclass cross-entropy between integer labels and predicted probabilities."""
+    y_true = check_1d(y_true, "y_true").astype(int)
+    proba = np.asarray(proba, dtype=float)
+    if proba.ndim != 2:
+        raise ValueError(f"proba must be 2-dimensional, got shape {proba.shape}")
+    check_consistent_length(y_true, proba)
+    clipped = np.clip(proba, eps, 1.0)
+    picked = clipped[np.arange(len(y_true)), y_true]
+    return float(-np.mean(np.log(picked)))

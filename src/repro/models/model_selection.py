@@ -1,0 +1,69 @@
+"""Dataset splitting utilities.
+
+The paper partitions every dataset 80/10/10 into train/validation/test
+(Section 4.1.1); ``train_valid_test_split`` reproduces that protocol with
+optional stratification so small datasets keep both classes in every split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def train_valid_test_split(
+    n_samples: int,
+    valid_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    stratify: np.ndarray | None = None,
+    random_state: RandomState = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return index arrays ``(train_idx, valid_idx, test_idx)``.
+
+    Parameters
+    ----------
+    n_samples:
+        Total number of instances to split.
+    valid_fraction, test_fraction:
+        Fractions assigned to the validation and test splits (the remainder
+        goes to training).  The paper uses 0.1/0.1.
+    stratify:
+        Optional label vector; when provided each class is split with the
+        same proportions.
+    random_state:
+        Seed or generator for the shuffle.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    if valid_fraction < 0 or test_fraction < 0 or valid_fraction + test_fraction >= 1:
+        raise ValueError(
+            "valid_fraction and test_fraction must be non-negative and sum to < 1"
+        )
+    rng = ensure_rng(random_state)
+
+    if stratify is None:
+        permutation = rng.permutation(n_samples)
+        n_valid = int(round(valid_fraction * n_samples))
+        n_test = int(round(test_fraction * n_samples))
+        valid_idx = permutation[:n_valid]
+        test_idx = permutation[n_valid:n_valid + n_test]
+        train_idx = permutation[n_valid + n_test:]
+        return np.sort(train_idx), np.sort(valid_idx), np.sort(test_idx)
+
+    stratify = np.asarray(stratify)
+    if len(stratify) != n_samples:
+        raise ValueError("stratify must have length n_samples")
+    train_parts, valid_parts, test_parts = [], [], []
+    for cls in np.unique(stratify):
+        cls_indices = np.flatnonzero(stratify == cls)
+        cls_perm = rng.permutation(cls_indices)
+        n_valid = int(round(valid_fraction * len(cls_perm)))
+        n_test = int(round(test_fraction * len(cls_perm)))
+        valid_parts.append(cls_perm[:n_valid])
+        test_parts.append(cls_perm[n_valid:n_valid + n_test])
+        train_parts.append(cls_perm[n_valid + n_test:])
+    train_idx = np.sort(np.concatenate(train_parts))
+    valid_idx = np.sort(np.concatenate(valid_parts)) if valid_parts else np.array([], dtype=int)
+    test_idx = np.sort(np.concatenate(test_parts)) if test_parts else np.array([], dtype=int)
+    return train_idx, valid_idx, test_idx

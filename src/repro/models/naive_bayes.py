@@ -1,0 +1,86 @@
+"""Gaussian naive Bayes classifier.
+
+Used as an alternative cheap probabilistic model (e.g. as a committee member
+in query-by-committee sampling, and as a sanity baseline in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseClassifier
+from repro.utils.validation import check_2d, check_consistent_length, check_labels
+
+
+class GaussianNaiveBayes(BaseClassifier):
+    """Naive Bayes with per-class Gaussian feature likelihoods.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to every variance for
+        numerical stability.
+    n_classes:
+        Optional fixed class count (see :class:`LogisticRegression`).
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9, n_classes: int | None = None):
+        self.var_smoothing = var_smoothing
+        self.n_classes = n_classes
+
+    def fit(self, X, y, sample_weight=None) -> "GaussianNaiveBayes":
+        """Estimate per-class priors, means and variances."""
+        X = check_2d(X, "X")
+        y = check_labels(y, name="y")
+        check_consistent_length(X, y)
+        if sample_weight is None:
+            sample_weight = np.ones(len(y))
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+
+        observed = np.unique(y)
+        total = self.n_classes if self.n_classes is not None else int(observed.max()) + 1
+        total = max(total, int(observed.max()) + 1, 2)
+        self.classes_ = np.arange(total)
+        self.n_classes_ = total
+        self.n_features_in_ = X.shape[1]
+
+        self.theta_ = np.zeros((total, X.shape[1]))
+        self.var_ = np.ones((total, X.shape[1]))
+        self.class_prior_ = np.full(total, 1.0 / total)
+
+        global_var = X.var(axis=0).max() if X.shape[0] > 1 else 1.0
+        epsilon = self.var_smoothing * max(global_var, 1e-12)
+
+        counts = np.zeros(total)
+        for cls in observed:
+            mask = y == cls
+            weights = sample_weight[mask]
+            if weights.sum() == 0:
+                continue
+            counts[cls] = weights.sum()
+            self.theta_[cls] = np.average(X[mask], axis=0, weights=weights)
+            diff = X[mask] - self.theta_[cls]
+            self.var_[cls] = np.average(diff**2, axis=0, weights=weights) + epsilon
+        if counts.sum() > 0:
+            # Laplace-smoothed priors so unseen classes keep non-zero mass.
+            self.class_prior_ = (counts + 1.0) / (counts.sum() + total)
+        self.var_ = np.maximum(self.var_, epsilon if epsilon > 0 else 1e-12)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return posterior class probabilities under the Gaussian model."""
+        self._check_is_fitted()
+        X = check_2d(X, "X")
+        log_prior = np.log(self.class_prior_)
+        log_likelihood = np.zeros((X.shape[0], self.n_classes_))
+        for cls in range(self.n_classes_):
+            diff = X - self.theta_[cls]
+            log_likelihood[:, cls] = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[cls]) + diff**2 / self.var_[cls], axis=1
+            )
+        joint = log_prior + log_likelihood
+        joint -= joint.max(axis=1, keepdims=True)
+        proba = np.exp(joint)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba

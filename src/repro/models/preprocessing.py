@@ -1,0 +1,48 @@
+"""Feature preprocessing: standardisation for tabular datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but unscaled so that
+    the transform never divides by zero.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation from *X*."""
+        X = check_2d(X, "X")
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the learned standardisation to *X*."""
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted yet; call fit() first")
+        X = check_2d(X, "X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted with "
+                f"{self.n_features_in_}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit to *X* and return the transformed array."""
+        return self.fit(X).transform(X)

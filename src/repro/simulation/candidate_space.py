@@ -1,0 +1,207 @@
+"""Candidate label-function spaces for the simulated user.
+
+Two candidate spaces exist, matching Section 4.1.4 of the paper:
+
+* **Textual datasets** — all keyword LFs ``lambda_{w, y}`` with keyword *w*
+  contained in the query instance; eligible LFs must have training-set
+  accuracy above the threshold.
+* **Tabular datasets** — all decision stumps ``lambda_{j, v, op, y}`` with
+  the query instance's feature value on the boundary (``v = x_j``), one per
+  (feature, operator, class) combination, again filtered by accuracy.
+
+The keyword statistics are precomputed once per dataset so that per-query
+candidate construction is a cheap dictionary lookup even for long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import TabularDataset, TextDataset
+from repro.labeling.lf import KeywordLF, LabelFunction, ThresholdLF
+
+
+@dataclass
+class CandidateLF:
+    """A candidate label function plus its training-set statistics.
+
+    Attributes
+    ----------
+    lf:
+        The label function object.
+    coverage:
+        Fraction of training instances the LF labels.
+    accuracy:
+        Empirical accuracy of the LF on the training instances it labels.
+    """
+
+    lf: LabelFunction
+    coverage: float
+    accuracy: float
+
+
+class _KeywordStatistics:
+    """Per-keyword document frequency and class-conditional counts."""
+
+    def __init__(self, dataset: TextDataset):
+        self.n_documents = len(dataset)
+        self.doc_count: dict[str, int] = {}
+        self.class_count: dict[str, np.ndarray] = {}
+        n_classes = dataset.n_classes
+        for tokens, label in zip(dataset.token_sets, dataset.labels):
+            for token in tokens:
+                if token not in self.doc_count:
+                    self.doc_count[token] = 0
+                    self.class_count[token] = np.zeros(n_classes)
+                self.doc_count[token] += 1
+                self.class_count[token][label] += 1
+
+    def coverage(self, keyword: str) -> float:
+        return self.doc_count.get(keyword, 0) / max(self.n_documents, 1)
+
+    def accuracy(self, keyword: str, label: int) -> float:
+        count = self.doc_count.get(keyword, 0)
+        if count == 0:
+            return 0.0
+        return float(self.class_count[keyword][label] / count)
+
+
+_STATS_CACHE: dict[int, _KeywordStatistics] = {}
+
+
+def _keyword_statistics(dataset: TextDataset) -> _KeywordStatistics:
+    key = id(dataset)
+    if key not in _STATS_CACHE:
+        _STATS_CACHE[key] = _KeywordStatistics(dataset)
+    return _STATS_CACHE[key]
+
+
+def keyword_lf_candidates(
+    dataset: TextDataset,
+    query_index: int,
+    accuracy_threshold: float = 0.6,
+    target_label: int | None = None,
+    min_coverage: float = 0.0,
+) -> list[CandidateLF]:
+    """Candidate keyword LFs for one query instance of a text dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The training pool (provides token sets and ground-truth labels used
+        only for simulation).
+    query_index:
+        Index of the query instance.
+    accuracy_threshold:
+        Minimum training-set accuracy for a candidate (paper: 0.6).
+    target_label:
+        If given, restrict candidates to LFs emitting this class (used by the
+        label-noise simulation that targets the *flipped* label); otherwise
+        all classes are considered.
+    min_coverage:
+        Optional minimum coverage filter.
+    """
+    stats = _keyword_statistics(dataset)
+    tokens = dataset.token_sets[query_index]
+    labels = range(dataset.n_classes) if target_label is None else [target_label]
+    candidates = []
+    for keyword in tokens:
+        coverage = stats.coverage(keyword)
+        if coverage < min_coverage or coverage == 0.0:
+            continue
+        for label in labels:
+            accuracy = stats.accuracy(keyword, label)
+            if accuracy > accuracy_threshold:
+                candidates.append(
+                    CandidateLF(KeywordLF(keyword, label), coverage, accuracy)
+                )
+    return candidates
+
+
+def threshold_lf_candidates(
+    dataset: TabularDataset,
+    query_index: int,
+    accuracy_threshold: float = 0.6,
+    target_label: int | None = None,
+    min_coverage: float = 0.0,
+) -> list[CandidateLF]:
+    """Candidate decision-stump LFs for one query instance of a tabular dataset.
+
+    For each feature *j*, operator in ``{<=, >=}`` and class *y*, the stump
+    ``x_j op x_query_j -> y`` is a candidate when its training-set accuracy
+    exceeds the threshold (paper Section 4.1.4).
+    """
+    raw = dataset.raw_features
+    labels_true = dataset.labels
+    query = raw[query_index]
+    n_samples = len(raw)
+    labels = range(dataset.n_classes) if target_label is None else [target_label]
+    candidates = []
+    for feature in range(raw.shape[1]):
+        value = float(query[feature])
+        for op in (">=", "<="):
+            fires = raw[:, feature] >= value if op == ">=" else raw[:, feature] <= value
+            n_fired = int(fires.sum())
+            coverage = n_fired / max(n_samples, 1)
+            if n_fired == 0 or coverage < min_coverage:
+                continue
+            fired_labels = labels_true[fires]
+            for label in labels:
+                accuracy = float(np.mean(fired_labels == label))
+                if accuracy > accuracy_threshold:
+                    candidates.append(
+                        CandidateLF(ThresholdLF(feature, value, op, label), coverage, accuracy)
+                    )
+    return candidates
+
+
+def enumerate_keyword_lfs(
+    dataset: TextDataset,
+    min_coverage: float = 0.01,
+    max_candidates: int | None = None,
+) -> list[CandidateLF]:
+    """Enumerate the global keyword-LF space of a text dataset.
+
+    Used by the IWS baseline, which proposes candidate LFs for the user to
+    verify rather than asking the user to write them.  For every keyword with
+    coverage at least *min_coverage*, the LF targeting the keyword's majority
+    class is produced.  Candidates are sorted by coverage (descending) and
+    optionally truncated.
+    """
+    stats = _keyword_statistics(dataset)
+    candidates = []
+    for keyword, count in stats.doc_count.items():
+        coverage = count / max(stats.n_documents, 1)
+        if coverage < min_coverage:
+            continue
+        class_counts = stats.class_count[keyword]
+        label = int(np.argmax(class_counts))
+        accuracy = float(class_counts[label] / count)
+        candidates.append(CandidateLF(KeywordLF(keyword, label), coverage, accuracy))
+    candidates.sort(key=lambda c: c.coverage, reverse=True)
+    if max_candidates is not None:
+        candidates = candidates[:max_candidates]
+    return candidates
+
+
+def candidate_lfs_for_query(
+    dataset,
+    query_index: int,
+    accuracy_threshold: float = 0.6,
+    target_label: int | None = None,
+) -> list[CandidateLF]:
+    """Dispatch to the keyword or threshold candidate space based on dataset kind."""
+    if isinstance(dataset, TextDataset):
+        return keyword_lf_candidates(
+            dataset, query_index, accuracy_threshold, target_label
+        )
+    if isinstance(dataset, TabularDataset):
+        return threshold_lf_candidates(
+            dataset, query_index, accuracy_threshold, target_label
+        )
+    raise TypeError(
+        "dataset must be a TextDataset or TabularDataset, got "
+        f"{type(dataset).__name__}"
+    )

@@ -1,0 +1,63 @@
+"""Label-noise simulation used in the Table 5 study.
+
+With probability ``noise_rate`` a query is "noisy": the simulated user builds
+its candidate LF space for the *flipped* class label of the query instance,
+so the returned LF still has training-set accuracy above the threshold but
+misfires on the query instance — which corrupts the pseudo-label ActiveDP
+derives for that instance and therefore degrades the AL model.
+"""
+
+from __future__ import annotations
+
+from repro.labeling.lf import LabelFunction
+from repro.simulation.simulated_user import SimulatedUser
+from repro.utils.rng import RandomState
+
+
+class NoisySimulatedUser(SimulatedUser):
+    """Simulated user that answers a fraction of queries for the wrong class.
+
+    Parameters
+    ----------
+    dataset, accuracy_threshold, random_state:
+        See :class:`SimulatedUser`.
+    noise_rate:
+        Fraction of queries answered with an LF targeting the flipped label
+        (paper: 0 %, 5 %, 10 %, 15 %).
+    """
+
+    def __init__(
+        self,
+        dataset,
+        noise_rate: float = 0.0,
+        accuracy_threshold: float = 0.6,
+        random_state: RandomState = None,
+    ):
+        super().__init__(dataset, accuracy_threshold, random_state)
+        if not 0.0 <= noise_rate <= 1.0:
+            raise ValueError("noise_rate must be in [0, 1]")
+        self.noise_rate = noise_rate
+        self.n_noisy_responses = 0
+
+    def design_lf(self, query_index: int) -> LabelFunction | None:
+        """Return an LF, targeting the flipped class for a noisy fraction of queries."""
+        noisy = self.noise_rate > 0.0 and self.rng.random() < self.noise_rate
+        if noisy:
+            true_label = int(self.dataset.labels[query_index])
+            flipped = self._flip_label(true_label)
+            candidates = self._eligible_candidates(query_index, target_label=flipped)
+            lf = self._choose(candidates)
+            if lf is not None:
+                self.n_noisy_responses += 1
+                self.returned_lfs.add(lf)
+                return lf
+            # No accurate LF exists for the flipped class on this instance;
+            # fall back to a clean response so the iteration is not wasted.
+        return super().design_lf(query_index)
+
+    def _flip_label(self, label: int) -> int:
+        n_classes = self.dataset.n_classes
+        if n_classes == 2:
+            return 1 - label
+        candidates = [c for c in range(n_classes) if c != label]
+        return int(self.rng.choice(candidates))

@@ -1,0 +1,49 @@
+"""Instance-labelling oracle.
+
+Uncertainty sampling and Revising LF query *instance labels* rather than
+label functions; the oracle simply returns the ground-truth label of the
+requested training instance (optionally with symmetric label noise, for
+robustness experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class Oracle:
+    """Ground-truth instance labeller with optional symmetric noise.
+
+    Parameters
+    ----------
+    dataset:
+        The training pool whose labels are revealed on request.
+    noise_rate:
+        Probability of returning a uniformly random *wrong* label instead of
+        the true one.
+    random_state:
+        Seed or generator for the noise.
+    """
+
+    def __init__(self, dataset, noise_rate: float = 0.0, random_state: RandomState = None):
+        if not 0.0 <= noise_rate <= 1.0:
+            raise ValueError("noise_rate must be in [0, 1]")
+        self.dataset = dataset
+        self.noise_rate = noise_rate
+        self.rng = ensure_rng(random_state)
+        self.n_queries = 0
+
+    def label(self, index: int) -> int:
+        """Return the (possibly noisy) label of training instance *index*."""
+        self.n_queries += 1
+        true_label = int(self.dataset.labels[index])
+        if self.noise_rate > 0.0 and self.rng.random() < self.noise_rate:
+            wrong = [c for c in range(self.dataset.n_classes) if c != true_label]
+            return int(self.rng.choice(wrong))
+        return true_label
+
+    def label_many(self, indices) -> np.ndarray:
+        """Vectorised version of :meth:`label`."""
+        return np.array([self.label(int(i)) for i in indices], dtype=int)

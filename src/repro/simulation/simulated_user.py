@@ -1,0 +1,100 @@
+"""Simulated LF designer following Section 4.1.4 of the paper.
+
+Given a query instance, the simulated user builds the candidate LF space
+(keyword LFs for text, decision stumps for tabular data), keeps only LFs with
+training-set accuracy above the threshold, removes LFs already returned in
+previous iterations, and samples one LF with probability proportional to its
+coverage.  The user can also *verify* a proposed LF (used by the IWS
+baseline): it marks the LF as accurate when its empirical accuracy exceeds
+the same threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.labeling.lf import ABSTAIN, LabelFunction
+from repro.simulation.candidate_space import CandidateLF, candidate_lfs_for_query
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class SimulatedUser:
+    """Coverage-proportional simulated LF designer.
+
+    Parameters
+    ----------
+    dataset:
+        The training pool (ground-truth labels are used only to filter the
+        candidate space, exactly as in the paper's simulation protocol).
+    accuracy_threshold:
+        Minimum training-set accuracy a returned LF must have (paper: 0.6).
+    random_state:
+        Seed or generator controlling the coverage-proportional choice.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        accuracy_threshold: float = 0.6,
+        random_state: RandomState = None,
+    ):
+        if not 0.0 <= accuracy_threshold < 1.0:
+            raise ValueError("accuracy_threshold must be in [0, 1)")
+        self.dataset = dataset
+        self.accuracy_threshold = accuracy_threshold
+        self.rng = ensure_rng(random_state)
+        self.returned_lfs: set[LabelFunction] = set()
+
+    # ----------------------------------------------------------- LF design
+    def design_lf(self, query_index: int) -> LabelFunction | None:
+        """Return an LF for *query_index* or ``None`` when no candidate exists.
+
+        The returned LF targets the query instance's true class: the simulated
+        user inspects the instance, recognises its label, and writes a rule
+        for that label (this is what makes the LF "accurate on the
+        corresponding query instance", Section 3.1).  An LF that misfires on
+        its own query instance is exactly the *label noise* the paper injects
+        separately in the Table 5 study (see
+        :class:`~repro.simulation.label_noise.NoisySimulatedUser`).
+        """
+        true_label = int(self.dataset.labels[query_index])
+        candidates = self._eligible_candidates(query_index, target_label=true_label)
+        lf = self._choose(candidates)
+        if lf is not None:
+            self.returned_lfs.add(lf)
+        return lf
+
+    # -------------------------------------------------------- LF verification
+    def verify_lf(self, lf: LabelFunction) -> bool:
+        """IWS-style verification: is the LF's training-set accuracy above threshold?"""
+        outputs = lf.apply(self.dataset)
+        fired = outputs != ABSTAIN
+        if not np.any(fired):
+            return False
+        accuracy = float(np.mean(outputs[fired] == self.dataset.labels[fired]))
+        return accuracy > self.accuracy_threshold
+
+    # ----------------------------------------------------- instance labelling
+    def label_instance(self, query_index: int) -> int:
+        """Return the ground-truth label (for US / Revising-LF style queries)."""
+        return int(self.dataset.labels[query_index])
+
+    # --------------------------------------------------------------- helpers
+    def _eligible_candidates(
+        self, query_index: int, target_label: int | None
+    ) -> list[CandidateLF]:
+        candidates = candidate_lfs_for_query(
+            self.dataset,
+            query_index,
+            accuracy_threshold=self.accuracy_threshold,
+            target_label=target_label,
+        )
+        return [c for c in candidates if c.lf not in self.returned_lfs]
+
+    def _choose(self, candidates: list[CandidateLF]) -> LabelFunction | None:
+        if not candidates:
+            return None
+        coverages = np.array([max(c.coverage, 1e-12) for c in candidates])
+        probabilities = coverages / coverages.sum()
+        choice = int(self.rng.choice(len(candidates), p=probabilities))
+        return candidates[choice].lf

@@ -1,0 +1,18 @@
+"""Text-feature substrate: tokenisation, vocabularies and TF-IDF vectorisers.
+
+The paper extracts TF-IDF representations of the input text for both the
+active-learning model and the downstream model; this package provides those
+representations without relying on scikit-learn.
+"""
+
+from repro.text.tokenizer import STOP_WORDS, tokenize
+from repro.text.vocabulary import Vocabulary
+from repro.text.vectorizer import CountVectorizer, TfidfVectorizer
+
+__all__ = [
+    "tokenize",
+    "STOP_WORDS",
+    "Vocabulary",
+    "CountVectorizer",
+    "TfidfVectorizer",
+]

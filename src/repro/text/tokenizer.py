@@ -1,0 +1,53 @@
+"""Simple word tokeniser with a small English stop-word list.
+
+Keyword label functions in ActiveDP fire on unigram tokens, so the tokeniser
+is deliberately conservative: lowercase, strip punctuation/digits, split on
+non-alphabetic characters, drop single-character tokens and (optionally)
+stop words.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_PATTERN = re.compile(r"[a-z]+")
+
+# Compact stop-word list: high-frequency English function words that carry no
+# class signal for the spam / sentiment / biography tasks in the paper.
+STOP_WORDS = frozenset(
+    """
+    a about above after again all am an and any are as at be because been
+    before being below between both but by could did do does doing down
+    during each few for from further had has have having he her here hers
+    him his how i if in into is it its itself just me more most my myself
+    no nor not now of off on once only or other our ours out over own same
+    she should so some such than that the their theirs them then there
+    these they this those through to too under until up very was we were
+    what when where which while who whom why will with you your yours
+    """.split()
+)
+
+
+def tokenize(text: str, remove_stop_words: bool = True, min_length: int = 2) -> list[str]:
+    """Split *text* into lowercase alphabetic tokens.
+
+    Parameters
+    ----------
+    text:
+        The raw document.
+    remove_stop_words:
+        Drop tokens in :data:`STOP_WORDS`.
+    min_length:
+        Drop tokens shorter than this many characters.
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"text must be a string, got {type(text).__name__}")
+    tokens = _TOKEN_PATTERN.findall(text.lower())
+    result = []
+    for token in tokens:
+        if len(token) < min_length:
+            continue
+        if remove_stop_words and token in STOP_WORDS:
+            continue
+        result.append(token)
+    return result

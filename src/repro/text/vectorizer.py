@@ -1,0 +1,110 @@
+"""Bag-of-words and TF-IDF vectorisers built on :class:`Vocabulary`.
+
+Dense NumPy output is used throughout: the synthetic benchmark corpora keep
+vocabularies small (a few thousand terms), so dense matrices stay well within
+memory while keeping the downstream linear algebra simple and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.text.tokenizer import tokenize
+from repro.text.vocabulary import Vocabulary
+
+
+class CountVectorizer:
+    """Convert raw documents into a dense term-count matrix.
+
+    Parameters
+    ----------
+    min_df:
+        Minimum document frequency for a term to enter the vocabulary.
+    max_features:
+        Optional cap on vocabulary size (most document-frequent terms kept).
+    binary:
+        If ``True`` record term presence (0/1) instead of counts.
+    tokenizer:
+        Callable mapping a document to a token list; defaults to
+        :func:`repro.text.tokenize`.
+    """
+
+    def __init__(
+        self,
+        min_df: int = 1,
+        max_features: int | None = None,
+        binary: bool = False,
+        tokenizer: Callable[[str], list[str]] | None = None,
+    ):
+        self.min_df = min_df
+        self.max_features = max_features
+        self.binary = binary
+        self.tokenizer = tokenizer or tokenize
+
+    def fit(self, documents: Sequence[str]) -> "CountVectorizer":
+        """Learn the vocabulary from *documents*."""
+        tokenized = [self.tokenizer(doc) for doc in documents]
+        self.vocabulary_ = Vocabulary(min_df=self.min_df, max_features=self.max_features)
+        self.vocabulary_.fit(tokenized)
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Return the ``(n_documents, n_terms)`` count matrix."""
+        if not hasattr(self, "vocabulary_"):
+            raise RuntimeError("CountVectorizer is not fitted yet; call fit() first")
+        vocab = self.vocabulary_
+        matrix = np.zeros((len(documents), len(vocab)), dtype=float)
+        for row, doc in enumerate(documents):
+            for token in self.tokenizer(doc):
+                if token in vocab:
+                    column = vocab.index(token)
+                    if self.binary:
+                        matrix[row, column] = 1.0
+                    else:
+                        matrix[row, column] += 1.0
+        return matrix
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Fit the vocabulary and return the count matrix for *documents*."""
+        return self.fit(documents).transform(documents)
+
+    def get_feature_names(self) -> list[str]:
+        """Return vocabulary terms in column order."""
+        if not hasattr(self, "vocabulary_"):
+            raise RuntimeError("CountVectorizer is not fitted yet; call fit() first")
+        return self.vocabulary_.tokens
+
+
+class TfidfVectorizer(CountVectorizer):
+    """TF-IDF features with smoothed IDF and L2 row normalisation.
+
+    Matches the scikit-learn defaults the paper relies on:
+    ``idf(t) = ln((1 + n) / (1 + df(t))) + 1`` and unit-L2 rows.
+    """
+
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn the vocabulary and per-term IDF weights."""
+        super().fit(documents)
+        n_docs = self.vocabulary_.n_documents_
+        df = np.array(
+            [self.vocabulary_.document_frequency[t] for t in self.vocabulary_.tokens],
+            dtype=float,
+        )
+        self.idf_ = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Return the L2-normalised TF-IDF matrix for *documents*."""
+        counts = super().transform(documents)
+        if not hasattr(self, "idf_"):
+            raise RuntimeError("TfidfVectorizer is not fitted yet; call fit() first")
+        tfidf = counts * self.idf_
+        norms = np.linalg.norm(tfidf, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return tfidf / norms
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Fit IDF weights and return the TF-IDF matrix for *documents*."""
+        return self.fit(documents).transform(documents)

@@ -1,0 +1,75 @@
+"""Vocabulary: a bidirectional token <-> index mapping with frequency pruning."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+
+class Vocabulary:
+    """Ordered token vocabulary built from tokenised documents.
+
+    Parameters
+    ----------
+    min_df:
+        Minimum number of documents a token must appear in to be kept.
+    max_features:
+        If set, keep only the *max_features* most document-frequent tokens
+        (ties broken alphabetically for determinism).
+    """
+
+    def __init__(self, min_df: int = 1, max_features: int | None = None):
+        if min_df < 1:
+            raise ValueError("min_df must be >= 1")
+        if max_features is not None and max_features < 1:
+            raise ValueError("max_features must be >= 1 when given")
+        self.min_df = min_df
+        self.max_features = max_features
+        self._token_to_index: dict[str, int] = {}
+        self._tokens: list[str] = []
+        self.document_frequency: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ build
+    def fit(self, tokenized_documents: Iterable[Sequence[str]]) -> "Vocabulary":
+        """Build the vocabulary from an iterable of token lists."""
+        doc_freq: Counter[str] = Counter()
+        n_docs = 0
+        for tokens in tokenized_documents:
+            n_docs += 1
+            doc_freq.update(set(tokens))
+        if n_docs == 0:
+            raise ValueError("cannot fit a vocabulary on zero documents")
+
+        kept = [(token, freq) for token, freq in doc_freq.items() if freq >= self.min_df]
+        # Sort by descending document frequency, then alphabetically, so the
+        # vocabulary is deterministic across runs.
+        kept.sort(key=lambda item: (-item[1], item[0]))
+        if self.max_features is not None:
+            kept = kept[: self.max_features]
+        kept.sort(key=lambda item: item[0])
+
+        self._tokens = [token for token, _ in kept]
+        self._token_to_index = {token: idx for idx, token in enumerate(self._tokens)}
+        self.document_frequency = {token: doc_freq[token] for token in self._tokens}
+        self.n_documents_ = n_docs
+        return self
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_index
+
+    def index(self, token: str) -> int:
+        """Return the column index for *token* (raises ``KeyError`` if absent)."""
+        return self._token_to_index[token]
+
+    def token(self, index: int) -> str:
+        """Return the token stored at *index*."""
+        return self._tokens[index]
+
+    @property
+    def tokens(self) -> list[str]:
+        """All tokens in index order (copy)."""
+        return list(self._tokens)

@@ -1,0 +1,20 @@
+"""Shared utilities: random-number helpers and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_seeds
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_consistent_length,
+    check_labels,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_seeds",
+    "check_1d",
+    "check_2d",
+    "check_consistent_length",
+    "check_labels",
+    "check_probability_matrix",
+]

@@ -1,0 +1,57 @@
+"""Random-number-generator helpers.
+
+All stochastic components in the library accept either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None``.  ``ensure_rng``
+normalises any of these into a ``Generator`` so downstream code never has to
+special-case seed handling, and ``spawn_seeds`` derives independent child
+seeds for multi-seed experiment protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *random_state*.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh entropy), an ``int`` seed, or an existing generator
+        (returned unchanged).
+
+    Raises
+    ------
+    TypeError
+        If *random_state* is of an unsupported type.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        if random_state < 0:
+            raise ValueError(f"seed must be non-negative, got {random_state}")
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int seed or a numpy Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_seeds(base_seed: int, n_seeds: int) -> list[int]:
+    """Derive *n_seeds* reproducible, well-separated child seeds.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the children are
+    statistically independent regardless of how close the base seeds are.
+    """
+    if n_seeds <= 0:
+        raise ValueError(f"n_seeds must be positive, got {n_seeds}")
+    sequence = np.random.SeedSequence(base_seed)
+    children = sequence.spawn(n_seeds)
+    return [int(child.generate_state(1)[0]) for child in children]

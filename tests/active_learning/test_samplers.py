@@ -1,0 +1,213 @@
+"""Tests for the query-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.active_learning import (
+    ADPSampler,
+    BaseSampler,
+    CoreSetSampler,
+    DensityWeightedSampler,
+    LALSampler,
+    MarginSampler,
+    PassiveSampler,
+    QueryByCommitteeSampler,
+    QueryContext,
+    SEUSampler,
+    UncertaintySampler,
+    get_sampler,
+    prediction_entropy,
+)
+from repro.labeling import ABSTAIN
+
+ALL_SAMPLER_NAMES = ["passive", "uncertainty", "margin", "qbc", "coreset",
+                     "density", "lal", "seu", "adp"]
+
+
+def _context(dataset, rng, al_proba=None, lm_proba=None, queried=(), labels=()):
+    candidates = np.setdiff1d(np.arange(len(dataset)), np.asarray(queried, dtype=int))
+    return QueryContext(
+        dataset=dataset,
+        candidates=candidates,
+        al_proba=al_proba,
+        lm_proba=lm_proba,
+        queried_indices=np.asarray(queried, dtype=int),
+        queried_labels=np.asarray(labels, dtype=int),
+        rng=rng,
+    )
+
+
+def _peaked_proba(n, n_classes=2, uncertain_index=None):
+    proba = np.zeros((n, n_classes))
+    proba[:, 0] = 0.95
+    proba[:, 1] = 0.05
+    if uncertain_index is not None:
+        proba[uncertain_index] = 1.0 / n_classes
+    return proba
+
+
+class TestPredictionEntropy:
+    def test_uniform_has_maximum_entropy(self):
+        proba = np.array([[0.5, 0.5], [0.9, 0.1], [1.0, 0.0]])
+        entropy = prediction_entropy(proba)
+        assert entropy[0] > entropy[1] > entropy[2]
+        assert entropy[0] == pytest.approx(np.log(2))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            prediction_entropy(np.array([0.5, 0.5]))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ALL_SAMPLER_NAMES)
+    def test_get_sampler(self, name):
+        assert isinstance(get_sampler(name), BaseSampler)
+
+    def test_unknown_sampler_raises(self):
+        with pytest.raises(ValueError):
+            get_sampler("bogus")
+
+
+@pytest.mark.parametrize("name", ALL_SAMPLER_NAMES)
+class TestSelectionContract:
+    def test_selected_index_is_a_candidate(self, name, tiny_text_split, rng):
+        train = tiny_text_split.train
+        proba = rng.dirichlet([1, 1], size=len(train))
+        queried = [0, 1, 2, 3, 4]
+        labels = [0, 1, 0, 1, 0]
+        context = _context(train, rng, al_proba=proba, lm_proba=proba,
+                           queried=queried, labels=labels)
+        choice = get_sampler(name).select(context)
+        assert choice in context.candidates
+
+    def test_works_without_any_model(self, name, tiny_text_split, rng):
+        context = _context(tiny_text_split.train, rng)
+        choice = get_sampler(name).select(context)
+        assert choice in context.candidates
+
+
+class TestUncertaintySampler:
+    def test_picks_most_uncertain(self, tiny_text_split, rng):
+        train = tiny_text_split.train
+        proba = _peaked_proba(len(train), uncertain_index=17)
+        context = _context(train, rng, al_proba=proba)
+        assert UncertaintySampler().select(context) == 17
+
+    def test_falls_back_to_label_model_proba(self, tiny_text_split, rng):
+        train = tiny_text_split.train
+        proba = _peaked_proba(len(train), uncertain_index=23)
+        context = _context(train, rng, lm_proba=proba)
+        assert UncertaintySampler().select(context) == 23
+
+
+class TestMarginSampler:
+    def test_picks_smallest_margin(self, tiny_text_split, rng):
+        train = tiny_text_split.train
+        proba = _peaked_proba(len(train), uncertain_index=9)
+        context = _context(train, rng, al_proba=proba)
+        assert MarginSampler().select(context) == 9
+
+
+class TestADPSampler:
+    def test_alpha_one_follows_al_model_only(self, tiny_text_split, rng):
+        train = tiny_text_split.train
+        al = _peaked_proba(len(train), uncertain_index=5)
+        lm = _peaked_proba(len(train), uncertain_index=30)
+        context = _context(train, rng, al_proba=al, lm_proba=lm)
+        assert ADPSampler(alpha=1.0).select(context) == 5
+
+    def test_alpha_zero_follows_label_model_only(self, tiny_text_split, rng):
+        train = tiny_text_split.train
+        al = _peaked_proba(len(train), uncertain_index=5)
+        lm = _peaked_proba(len(train), uncertain_index=30)
+        context = _context(train, rng, al_proba=al, lm_proba=lm)
+        assert ADPSampler(alpha=0.0).select(context) == 30
+
+    def test_balanced_alpha_prefers_jointly_uncertain(self, tiny_text_split, rng):
+        train = tiny_text_split.train
+        al = _peaked_proba(len(train))
+        lm = _peaked_proba(len(train))
+        al[7] = [0.5, 0.5]
+        lm[7] = [0.5, 0.5]
+        al[12] = [0.5, 0.5]   # only AL uncertain here
+        context = _context(train, rng, al_proba=al, lm_proba=lm)
+        assert ADPSampler(alpha=0.5).select(context) == 7
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            ADPSampler(alpha=1.5)
+
+    def test_missing_models_falls_back_to_random(self, tiny_text_split, rng):
+        context = _context(tiny_text_split.train, rng)
+        assert ADPSampler().select(context) in context.candidates
+
+
+class TestCoreSetSampler:
+    def test_avoids_already_queried_neighbourhood(self, rng):
+        from repro.datasets.base import Dataset
+        features = np.vstack([np.zeros((5, 2)), np.full((1, 2), 10.0)])
+        dataset = Dataset(features, np.zeros(6, dtype=int), n_classes=2)
+        context = _context(dataset, rng, queried=[0], labels=[0])
+        assert CoreSetSampler().select(context) == 5
+
+
+class TestQueryByCommittee:
+    def test_random_before_two_classes_observed(self, tiny_text_split, rng):
+        context = _context(tiny_text_split.train, rng, queried=[0], labels=[1])
+        assert QueryByCommitteeSampler().select(context) in context.candidates
+
+    def test_invalid_members_raise(self):
+        with pytest.raises(ValueError):
+            QueryByCommitteeSampler(n_lr_members=0)
+
+
+class TestDensitySampler:
+    def test_invalid_beta_raises(self):
+        with pytest.raises(ValueError):
+            DensityWeightedSampler(beta=-1)
+
+
+class TestSEUSampler:
+    def test_prefers_docs_with_high_coverage_keywords(self, tiny_text_split, rng):
+        train = tiny_text_split.train
+        # With uniform uncertainty, SEU scores reduce to keyword coverage.
+        lm = np.full((len(train), 2), 0.5)
+        context = _context(train, rng, lm_proba=lm)
+        choice = SEUSampler().select(context)
+        assert choice in context.candidates
+        assert len(train.token_sets[choice]) > 0
+
+    def test_tabular_falls_back_to_uncertainty(self, tiny_tabular_split, rng):
+        train = tiny_tabular_split.train
+        proba = _peaked_proba(len(train), uncertain_index=3)
+        context = _context(train, rng, al_proba=proba)
+        assert SEUSampler().select(context) == 3
+
+
+class TestLALSampler:
+    def test_uses_uncertainty_fallback_with_few_labels(self, tiny_text_split, rng):
+        train = tiny_text_split.train
+        proba = _peaked_proba(len(train), uncertain_index=11)
+        context = _context(train, rng, al_proba=proba, queried=[0, 1], labels=[0, 1])
+        assert LALSampler().select(context) == 11
+
+    def test_learned_mode_selects_valid_candidate(self, tiny_text_split, rng):
+        train = tiny_text_split.train
+        proba = rng.dirichlet([1, 1], size=len(train))
+        queried = list(range(12))
+        labels = [train.labels[i] for i in queried]
+        context = _context(train, rng, al_proba=proba, queried=queried, labels=labels)
+        choice = LALSampler(n_episodes=6, min_labeled=8).select(context)
+        assert choice in context.candidates
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            LALSampler(n_episodes=0)
+        with pytest.raises(ValueError):
+            LALSampler(ridge=0.0)
+
+
+class TestQueryContext:
+    def test_requires_candidates(self, tiny_text_split, rng):
+        with pytest.raises(ValueError):
+            QueryContext(dataset=tiny_text_split.train, candidates=np.array([]), rng=rng)

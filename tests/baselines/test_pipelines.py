@@ -1,0 +1,148 @@
+"""Tests for the baseline interactive pipelines and the common interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ActiveDPPipeline,
+    IWSPipeline,
+    NemoPipeline,
+    RevisingLFPipeline,
+    UncertaintySamplingPipeline,
+    get_pipeline,
+    pipeline_names,
+)
+from repro.labeling import ABSTAIN
+
+ALL_PIPELINES = pipeline_names()
+
+
+class TestRegistry:
+    def test_pipeline_names(self):
+        assert set(ALL_PIPELINES) == {"activedp", "nemo", "iws", "revising_lf", "uncertainty"}
+
+    def test_get_pipeline_aliases(self, tiny_text_split):
+        assert isinstance(get_pipeline("us", tiny_text_split), UncertaintySamplingPipeline)
+        assert isinstance(get_pipeline("rlf", tiny_text_split), RevisingLFPipeline)
+
+    def test_unknown_pipeline_raises(self, tiny_text_split):
+        with pytest.raises(ValueError):
+            get_pipeline("snorkel", tiny_text_split)
+
+
+@pytest.mark.parametrize("name", ALL_PIPELINES)
+class TestCommonContract:
+    def test_step_and_generate_labels(self, name, tiny_text_split):
+        pipeline = get_pipeline(name, tiny_text_split, random_state=0)
+        pipeline.run(8)
+        indices, labels = pipeline.generate_labels()
+        assert len(indices) == len(labels)
+        if len(indices):
+            assert indices.min() >= 0
+            assert indices.max() < len(tiny_text_split.train)
+            assert set(np.unique(labels)) <= {0, 1}
+            assert ABSTAIN not in labels
+
+    def test_evaluate_end_model_returns_probability(self, name, tiny_text_split):
+        pipeline = get_pipeline(name, tiny_text_split, random_state=0)
+        pipeline.run(6)
+        accuracy = pipeline.evaluate_end_model()
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_label_quality_bounds(self, name, tiny_text_split):
+        pipeline = get_pipeline(name, tiny_text_split, random_state=0)
+        pipeline.run(6)
+        quality = pipeline.label_quality()
+        assert 0.0 <= quality["coverage"] <= 1.0
+        assert 0.0 <= quality["accuracy"] <= 1.0
+
+
+class TestActiveDPPipeline:
+    def test_noise_rate_builds_noisy_user(self, tiny_text_split):
+        from repro.simulation import NoisySimulatedUser
+        pipeline = ActiveDPPipeline(tiny_text_split, random_state=0, noise_rate=0.1)
+        assert isinstance(pipeline.user, NoisySimulatedUser)
+
+    def test_config_override(self, tiny_text_split):
+        from repro.core import ActiveDPConfig
+        config = ActiveDPConfig.for_dataset_kind("text", sampler="passive")
+        pipeline = ActiveDPPipeline(tiny_text_split, random_state=0, config=config)
+        assert pipeline.framework.sampler.name == "passive"
+
+    def test_tabular_defaults_use_high_alpha(self, tiny_tabular_split):
+        pipeline = ActiveDPPipeline(tiny_tabular_split, random_state=0)
+        assert pipeline.config.alpha == 0.99
+
+    def test_accumulates_labels_over_iterations(self, tiny_text_split):
+        pipeline = ActiveDPPipeline(tiny_text_split, random_state=0)
+        pipeline.run(4)
+        early = len(pipeline.generate_labels()[0])
+        pipeline.run(12)
+        late = len(pipeline.generate_labels()[0])
+        assert late >= early
+
+
+class TestUncertaintySamplingPipeline:
+    def test_labels_are_ground_truth(self, tiny_text_split):
+        pipeline = UncertaintySamplingPipeline(tiny_text_split, random_state=0)
+        pipeline.run(10)
+        indices, labels = pipeline.generate_labels()
+        np.testing.assert_array_equal(labels, tiny_text_split.train.labels[indices])
+
+    def test_one_label_per_iteration(self, tiny_text_split):
+        pipeline = UncertaintySamplingPipeline(tiny_text_split, random_state=0)
+        pipeline.run(7)
+        indices, _ = pipeline.generate_labels()
+        assert len(indices) == 7
+        assert len(np.unique(indices)) == 7
+
+
+class TestNemoPipeline:
+    def test_collects_lfs_and_covers_instances(self, tiny_text_split):
+        pipeline = NemoPipeline(tiny_text_split, random_state=0)
+        pipeline.run(10)
+        assert len(pipeline.lfs) > 0
+        indices, _ = pipeline.generate_labels()
+        assert len(indices) > 0
+
+    def test_no_duplicate_lfs(self, tiny_text_split):
+        pipeline = NemoPipeline(tiny_text_split, random_state=0)
+        pipeline.run(12)
+        assert len(pipeline.lfs) == len(set(pipeline.lfs))
+
+
+class TestIWSPipeline:
+    def test_accepted_lfs_pass_user_verification(self, tiny_text_split):
+        pipeline = IWSPipeline(tiny_text_split, random_state=0)
+        pipeline.run(12)
+        for lf in pipeline.accepted:
+            assert pipeline.user.verify_lf(lf)
+
+    def test_proposals_are_not_repeated(self, tiny_text_split):
+        pipeline = IWSPipeline(tiny_text_split, random_state=0, max_candidates=20)
+        pipeline.run(15)
+        assert len(pipeline.proposed) == len(set(pipeline.proposed))
+
+    def test_works_on_tabular_data(self, tiny_tabular_split):
+        pipeline = IWSPipeline(tiny_tabular_split, random_state=0, max_candidates=50)
+        pipeline.run(8)
+        assert 0.0 <= pipeline.evaluate_end_model() <= 1.0
+
+
+class TestRevisingLFPipeline:
+    def test_revised_instances_keep_oracle_labels(self, tiny_text_split):
+        pipeline = RevisingLFPipeline(tiny_text_split, random_state=0)
+        pipeline.run(10)
+        indices, labels = pipeline.generate_labels()
+        label_map = dict(zip(indices.tolist(), labels.tolist()))
+        for revised_index, revised_label in pipeline.revised.items():
+            assert label_map[revised_index] == revised_label
+            assert revised_label == tiny_text_split.train.labels[revised_index]
+
+    def test_lf_outputs_corrected_on_revised_instances(self, tiny_text_split):
+        pipeline = RevisingLFPipeline(tiny_text_split, random_state=0)
+        pipeline.run(10)
+        matrix = pipeline._matrix
+        for index, label in pipeline.revised.items():
+            fired = matrix[index] != ABSTAIN
+            assert np.all(matrix[index, fired] == label)

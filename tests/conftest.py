@@ -1,0 +1,79 @@
+"""Shared fixtures: small synthetic datasets and label matrices.
+
+Dataset fixtures are session-scoped because generation (and especially
+TF-IDF fitting) dominates test runtime; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.synthetic_tabular import SyntheticTabularConfig, generate_tabular_dataset
+from repro.datasets.synthetic_text import SyntheticTextConfig, generate_text_dataset
+
+
+@pytest.fixture(scope="session")
+def text_split():
+    """Small text DataSplit (youtube profile) used across test modules."""
+    return load_dataset("youtube", scale=0.3, random_state=7)
+
+
+@pytest.fixture(scope="session")
+def tabular_split():
+    """Small tabular DataSplit (occupancy profile) used across test modules."""
+    return load_dataset("occupancy", scale=0.3, random_state=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_text_split():
+    """Very small custom text split for fast framework tests."""
+    config = SyntheticTextConfig(
+        name="tiny-text",
+        n_documents=150,
+        signal_words={0: ["good", "great"], 1: ["bad", "awful"]},
+        n_signal_words=10,
+        signal_strength=0.4,
+        noise_strength=0.02,
+        n_background_words=60,
+        background_words_per_doc=6.0,
+    )
+    return generate_text_dataset(config, random_state=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_tabular_split():
+    """Very small custom tabular split for fast framework tests."""
+    config = SyntheticTabularConfig(
+        name="tiny-tabular",
+        n_samples=150,
+        n_informative=3,
+        n_noise=1,
+        separation=2.5,
+    )
+    return generate_tabular_dataset(config, random_state=11)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh seeded generator per test."""
+    return np.random.default_rng(123)
+
+
+@pytest.fixture()
+def simple_label_matrix(rng):
+    """Label matrix from 6 conditionally independent LFs plus ground truth.
+
+    Returns ``(matrix, y)`` with accuracies around 0.8 and coverages around
+    0.5, suitable for testing label models.
+    """
+    n = 400
+    y = rng.integers(0, 2, n)
+    matrix = np.full((n, 6), -1)
+    for j in range(6):
+        fire = rng.random(n) < 0.5
+        correct = rng.random(n) < 0.8
+        matrix[fire & correct, j] = y[fire & correct]
+        matrix[fire & ~correct, j] = 1 - y[fire & ~correct]
+    return matrix, y

@@ -1,0 +1,120 @@
+"""Tests for the ConFusion label-aggregation method (Eq. 1 and threshold tuning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConFusion
+from repro.labeling import ABSTAIN
+
+
+AL = np.array([[0.9, 0.1], [0.6, 0.4], [0.55, 0.45], [0.2, 0.8]])
+LM = np.array([[0.3, 0.7], [0.8, 0.2], [0.1, 0.9], [0.5, 0.5]])
+COVERED = np.array([True, True, False, False])
+
+
+class TestAggregate:
+    def test_high_confidence_uses_al_model(self):
+        result = ConFusion().aggregate(AL, LM, COVERED, threshold=0.7)
+        assert result.source[0] == "al"
+        assert result.labels[0] == 0
+        assert result.source[3] == "al"
+        assert result.labels[3] == 1
+
+    def test_low_confidence_covered_uses_label_model(self):
+        result = ConFusion().aggregate(AL, LM, COVERED, threshold=0.7)
+        assert result.source[1] == "lm"
+        assert result.labels[1] == 0
+
+    def test_low_confidence_uncovered_is_rejected(self):
+        result = ConFusion().aggregate(AL, LM, COVERED, threshold=0.7)
+        assert result.source[2] == "rejected"
+        assert result.labels[2] == ABSTAIN
+        assert not result.accepted[2]
+
+    def test_zero_threshold_always_uses_al(self):
+        result = ConFusion().aggregate(AL, LM, COVERED, threshold=0.0)
+        assert list(result.source) == ["al"] * 4
+        assert result.coverage == 1.0
+
+    def test_threshold_above_one_never_uses_al(self):
+        result = ConFusion().aggregate(AL, LM, COVERED, threshold=1.01)
+        assert "al" not in set(result.source)
+        np.testing.assert_array_equal(result.accepted, COVERED)
+
+    def test_proba_of_rejected_rows_is_uniform(self):
+        result = ConFusion().aggregate(AL, LM, COVERED, threshold=0.99)
+        np.testing.assert_allclose(result.proba[2], 0.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ConFusion().aggregate(AL, LM[:2], COVERED, 0.5)
+        with pytest.raises(ValueError):
+            ConFusion().aggregate(AL, LM, COVERED[:2], 0.5)
+
+    def test_invalid_objective_raises(self):
+        with pytest.raises(ValueError):
+            ConFusion(objective="f1")
+
+
+class TestThresholdTuning:
+    def test_candidate_thresholds_include_boundaries(self):
+        thresholds = ConFusion().candidate_thresholds(AL)
+        assert thresholds[0] == 0.0
+        assert thresholds[-1] == 1.0
+
+    def test_tuned_threshold_prefers_accurate_model(self):
+        # AL model is perfect, label model is garbage -> tuned threshold
+        # should be low enough that the AL model is used everywhere.
+        y_valid = np.array([0, 0, 1, 1])
+        al = np.array([[0.9, 0.1], [0.8, 0.2], [0.1, 0.9], [0.2, 0.8]])
+        lm = np.array([[0.1, 0.9], [0.2, 0.8], [0.9, 0.1], [0.8, 0.2]])
+        covered = np.ones(4, dtype=bool)
+        confusion = ConFusion()
+        threshold = confusion.tune_threshold(al, lm, covered, y_valid)
+        aggregated = confusion.aggregate(al, lm, covered, threshold)
+        assert np.all(aggregated.labels == y_valid)
+
+    def test_tuned_threshold_prefers_label_model_when_al_is_bad(self):
+        y_valid = np.array([0, 0, 1, 1])
+        al = np.array([[0.1, 0.9], [0.2, 0.8], [0.9, 0.1], [0.8, 0.2]])  # wrong
+        lm = np.array([[0.9, 0.1], [0.8, 0.2], [0.1, 0.9], [0.2, 0.8]])  # right
+        covered = np.ones(4, dtype=bool)
+        confusion = ConFusion()
+        threshold = confusion.tune_threshold(al, lm, covered, y_valid)
+        aggregated = confusion.aggregate(al, lm, covered, threshold)
+        accuracy = np.mean(aggregated.labels[aggregated.accepted] == y_valid[aggregated.accepted])
+        assert accuracy == 1.0
+
+    def test_coverage_objective_selects_zero_threshold(self):
+        y_valid = np.array([0, 1, 0, 1])
+        confusion = ConFusion(objective="coverage")
+        threshold = confusion.tune_threshold(AL, LM, COVERED, y_valid)
+        assert threshold == 0.0
+
+    def test_tune_and_aggregate_pipeline(self):
+        y_valid = np.array([0, 0, 1, 1])
+        result = ConFusion().tune_and_aggregate(AL, LM, COVERED, y_valid, AL, LM, COVERED)
+        assert result.labels.shape == (4,)
+        assert 0.0 <= result.threshold <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_aggregation_partition_property(n, threshold, seed):
+    """Every instance is exactly one of: AL-labelled, LM-labelled, rejected."""
+    rng = np.random.default_rng(seed)
+    al = rng.dirichlet([1.0, 1.0], size=n)
+    lm = rng.dirichlet([1.0, 1.0], size=n)
+    covered = rng.random(n) < 0.6
+    result = ConFusion().aggregate(al, lm, covered, threshold)
+    sources = set(result.source)
+    assert sources <= {"al", "lm", "rejected"}
+    assert np.all((result.labels == ABSTAIN) == ~result.accepted)
+    # Rejected instances are exactly the uncovered + unconfident ones.
+    expected_rejected = (~covered) & (al.max(axis=1) < threshold)
+    np.testing.assert_array_equal(result.source == "rejected", expected_rejected)

@@ -1,0 +1,123 @@
+"""Tests for the LabelPick LF-selection method."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabelPick
+from repro.labeling import ABSTAIN, KeywordLF
+
+
+def _make_lfs(n):
+    return [KeywordLF(f"word{chr(97 + i)}", i % 2) for i in range(n)]
+
+
+class TestAccuracyPruning:
+    def test_prunes_worse_than_random_lfs(self, rng):
+        n_valid = 200
+        y_valid = rng.integers(0, 2, n_valid)
+        good = np.where(rng.random(n_valid) < 0.9, y_valid, 1 - y_valid)
+        bad = np.where(rng.random(n_valid) < 0.2, y_valid, 1 - y_valid)
+        valid_matrix = np.column_stack([good, bad])
+        lfs = _make_lfs(2)
+
+        result = LabelPick().select(
+            lfs, valid_matrix, y_valid,
+            query_label_matrix=np.empty((0, 2), dtype=int),
+            pseudo_labels=np.array([], dtype=int),
+            n_classes=2,
+        )
+        assert 0 in result.selected_indices
+        assert 1 not in result.selected_indices
+        assert result.pruned_low_accuracy == [1]
+
+    def test_never_firing_lf_is_kept(self, rng):
+        y_valid = rng.integers(0, 2, 50)
+        valid_matrix = np.column_stack([y_valid, np.full(50, ABSTAIN)])
+        result = LabelPick().select(
+            _make_lfs(2), valid_matrix, y_valid,
+            np.empty((0, 2), dtype=int), np.array([], dtype=int), 2,
+        )
+        assert result.selected_indices == [0, 1]
+
+    def test_all_bad_lfs_keeps_everything(self, rng):
+        y_valid = rng.integers(0, 2, 100)
+        bad = 1 - y_valid
+        valid_matrix = np.column_stack([bad, bad])
+        result = LabelPick().select(
+            _make_lfs(2), valid_matrix, y_valid,
+            np.empty((0, 2), dtype=int), np.array([], dtype=int), 2,
+        )
+        assert result.selected_indices == [0, 1]
+
+
+class TestStructureSelection:
+    def test_redundant_lf_is_pruned_by_markov_blanket(self, rng):
+        """An LF that is a copy of another should not both stay selected."""
+        n_queries = 60
+        pseudo = rng.integers(0, 2, n_queries)
+        informative = pseudo.copy()
+        duplicate = informative.copy()
+        noise = rng.integers(0, 2, n_queries)
+        query_matrix = np.column_stack([informative, duplicate, noise])
+
+        n_valid = 200
+        y_valid = rng.integers(0, 2, n_valid)
+        # All three pass accuracy pruning on the validation set.
+        valid_cols = [
+            np.where(rng.random(n_valid) < 0.9, y_valid, 1 - y_valid) for _ in range(3)
+        ]
+        valid_matrix = np.column_stack(valid_cols)
+
+        result = LabelPick(min_queries=8).select(
+            _make_lfs(3), valid_matrix, y_valid, query_matrix, pseudo, 2
+        )
+        assert result.used_structure_learning
+        assert len(result.selected_indices) >= 1
+        assert 2 not in result.selected_indices or len(result.selected_indices) < 3
+
+    def test_structure_learning_skipped_with_few_queries(self, rng):
+        y_valid = rng.integers(0, 2, 50)
+        valid_matrix = np.column_stack([y_valid, y_valid])
+        query_matrix = np.array([[0, 1], [1, 0]])
+        result = LabelPick(min_queries=8).select(
+            _make_lfs(2), valid_matrix, y_valid, query_matrix, np.array([0, 1]), 2
+        )
+        assert not result.used_structure_learning
+        assert result.selected_indices == [0, 1]
+
+    def test_constant_query_matrix_keeps_survivors(self, rng):
+        y_valid = rng.integers(0, 2, 50)
+        valid_matrix = np.column_stack([y_valid, y_valid])
+        query_matrix = np.zeros((20, 2), dtype=int)
+        result = LabelPick(min_queries=8).select(
+            _make_lfs(2), valid_matrix, y_valid, query_matrix, np.zeros(20, dtype=int), 2
+        )
+        assert result.selected_indices == [0, 1]
+
+
+class TestEdgeCases:
+    def test_empty_lf_list(self):
+        result = LabelPick().select(
+            [], np.empty((10, 0), dtype=int), np.zeros(10, dtype=int),
+            np.empty((0, 0), dtype=int), np.array([], dtype=int), 2,
+        )
+        assert result.selected_indices == []
+
+    def test_column_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            LabelPick().select(
+                _make_lfs(2), np.zeros((10, 3), dtype=int), np.zeros(10, dtype=int),
+                np.zeros((5, 2), dtype=int), np.zeros(5, dtype=int), 2,
+            )
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            LabelPick(glasso_alpha=-1.0)
+        with pytest.raises(ValueError):
+            LabelPick(min_queries=1)
+
+    def test_result_select_maps_indices_to_lfs(self):
+        lfs = _make_lfs(3)
+        from repro.core import LabelPickResult
+        result = LabelPickResult(selected_indices=[0, 2])
+        assert result.select(lfs) == [lfs[0], lfs[2]]

@@ -1,0 +1,69 @@
+"""Tests for pseudo-labelled subset curation."""
+
+import numpy as np
+import pytest
+
+from repro.core import PseudoLabeledSet
+from repro.labeling import ABSTAIN, KeywordLF
+
+
+class TestPseudoLabeledSet:
+    def test_records_lf_output_on_query_instance(self, tiny_text_split):
+        train = tiny_text_split.train
+        lf = KeywordLF("good", 0)
+        outputs = lf.apply(train)
+        query = int(np.flatnonzero(outputs != ABSTAIN)[0])
+
+        pseudo = PseudoLabeledSet()
+        label = pseudo.add(query, lf, train)
+        assert label == 0
+        assert len(pseudo) == 1
+        assert pseudo.indices[0] == query
+        assert pseudo.labels[0] == 0
+
+    def test_abstaining_lf_records_nothing(self, tiny_text_split):
+        train = tiny_text_split.train
+        lf = KeywordLF("good", 0)
+        outputs = lf.apply(train)
+        query = int(np.flatnonzero(outputs == ABSTAIN)[0])
+
+        pseudo = PseudoLabeledSet()
+        assert pseudo.add(query, lf, train) == ABSTAIN
+        assert len(pseudo) == 0
+
+    def test_add_direct(self):
+        pseudo = PseudoLabeledSet()
+        pseudo.add_direct(5, 1)
+        assert pseudo.indices.tolist() == [5]
+        assert pseudo.labels.tolist() == [1]
+        with pytest.raises(ValueError):
+            pseudo.add_direct(6, ABSTAIN)
+
+    def test_features_align_with_indices(self, tiny_text_split):
+        train = tiny_text_split.train
+        pseudo = PseudoLabeledSet()
+        pseudo.add_direct(3, 1)
+        pseudo.add_direct(7, 0)
+        features = pseudo.features(train)
+        np.testing.assert_array_equal(features[0], train.features[3])
+        np.testing.assert_array_equal(features[1], train.features[7])
+
+    def test_empty_set_features_shape(self, tiny_text_split):
+        pseudo = PseudoLabeledSet()
+        features = pseudo.features(tiny_text_split.train)
+        assert features.shape == (0, tiny_text_split.train.n_features)
+        assert pseudo.accuracy(tiny_text_split.train) == 0.0
+
+    def test_n_classes_observed(self):
+        pseudo = PseudoLabeledSet()
+        pseudo.add_direct(0, 1)
+        assert pseudo.n_classes_observed() == 1
+        pseudo.add_direct(1, 0)
+        assert pseudo.n_classes_observed() == 2
+
+    def test_accuracy_against_ground_truth(self, tiny_text_split):
+        train = tiny_text_split.train
+        pseudo = PseudoLabeledSet()
+        pseudo.add_direct(0, int(train.labels[0]))          # correct
+        pseudo.add_direct(1, int(1 - train.labels[1]))      # wrong
+        assert pseudo.accuracy(train) == pytest.approx(0.5)

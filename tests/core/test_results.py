@@ -1,0 +1,35 @@
+"""Tests for run-history containers."""
+
+import pytest
+
+from repro.core import IterationRecord, RunHistory
+
+
+class TestRunHistory:
+    def _history(self):
+        history = RunHistory(framework="activedp", dataset="youtube", seed=0)
+        for i in range(1, 31):
+            record = IterationRecord(iteration=i, query_index=i)
+            if i % 10 == 0:
+                record.test_accuracy = 0.5 + i / 100.0
+            history.add(record)
+        return history
+
+    def test_counts_iterations(self):
+        assert self._history().n_iterations == 30
+
+    def test_evaluation_points(self):
+        points = self._history().evaluation_points()
+        assert points == [(10, 0.6), (20, 0.7), (30, 0.8)]
+
+    def test_average_test_accuracy_is_mean_of_eval_points(self):
+        assert self._history().average_test_accuracy() == pytest.approx(0.7)
+
+    def test_final_test_accuracy(self):
+        assert self._history().final_test_accuracy() == pytest.approx(0.8)
+
+    def test_empty_history(self):
+        history = RunHistory(framework="x", dataset="y", seed=1)
+        assert history.average_test_accuracy() == 0.0
+        assert history.final_test_accuracy() == 0.0
+        assert history.evaluation_points() == []

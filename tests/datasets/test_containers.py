@@ -1,0 +1,85 @@
+"""Tests for dataset containers (Dataset, TextDataset, TabularDataset, DataSplit)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, TabularDataset, TextDataset
+
+
+class TestDataset:
+    def test_basic_properties(self, rng):
+        features = rng.standard_normal((20, 4))
+        labels = rng.integers(0, 2, 20)
+        dataset = Dataset(features, labels, n_classes=2, name="demo")
+        assert len(dataset) == 20
+        assert dataset.n_features == 4
+        balance = dataset.class_balance()
+        assert balance.shape == (2,)
+        assert balance.sum() == pytest.approx(1.0)
+
+    def test_subset_preserves_alignment(self, rng):
+        features = rng.standard_normal((10, 2))
+        labels = np.arange(10) % 2
+        dataset = Dataset(features, labels, n_classes=2)
+        subset = dataset.subset(np.array([1, 3, 5]))
+        np.testing.assert_array_equal(subset.labels, labels[[1, 3, 5]])
+        np.testing.assert_array_equal(subset.features, features[[1, 3, 5]])
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(rng.standard_normal((5, 2)), np.zeros(4, dtype=int), 2)
+
+    def test_labels_out_of_range_raise(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(rng.standard_normal((3, 2)), np.array([0, 1, 5]), 2)
+
+    def test_invalid_n_classes_raises(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(rng.standard_normal((3, 2)), np.zeros(3, dtype=int), 1)
+
+
+class TestTextDataset:
+    def test_token_sets_align_with_texts(self, tiny_text_split):
+        train = tiny_text_split.train
+        assert isinstance(train, TextDataset)
+        assert len(train.texts) == len(train.token_sets) == len(train)
+        assert train.instances is train.texts or train.instances == train.texts
+
+    def test_subset_slices_all_fields(self, tiny_text_split):
+        train = tiny_text_split.train
+        subset = train.subset(np.array([0, 2, 4]))
+        assert subset.texts[1] == train.texts[2]
+        assert subset.token_sets[2] == train.token_sets[4]
+        np.testing.assert_array_equal(subset.labels, train.labels[[0, 2, 4]])
+
+    def test_mismatched_lengths_raise(self, rng):
+        with pytest.raises(ValueError):
+            TextDataset(["a"], [frozenset()], rng.standard_normal((2, 3)),
+                        np.array([0, 1]), 2)
+
+
+class TestTabularDataset:
+    def test_raw_and_scaled_features_align(self, tiny_tabular_split):
+        train = tiny_tabular_split.train
+        assert isinstance(train, TabularDataset)
+        assert train.raw_features.shape[0] == train.features.shape[0]
+        assert len(train.feature_names) == train.raw_features.shape[1]
+
+    def test_subset_slices_raw_features(self, tiny_tabular_split):
+        train = tiny_tabular_split.train
+        subset = train.subset(np.array([1, 3]))
+        np.testing.assert_array_equal(subset.raw_features, train.raw_features[[1, 3]])
+
+    def test_feature_name_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            TabularDataset(
+                rng.standard_normal((4, 3)), rng.standard_normal((4, 3)),
+                np.zeros(4, dtype=int), 2, feature_names=["a"],
+            )
+
+
+class TestDataSplit:
+    def test_sizes_and_classes(self, tiny_text_split):
+        n_train, n_valid, n_test = tiny_text_split.sizes()
+        assert n_train > n_valid and n_train > n_test
+        assert tiny_text_split.n_classes == 2

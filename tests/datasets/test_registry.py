@@ -1,0 +1,71 @@
+"""Tests for the benchmark dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_PROFILES,
+    dataset_names,
+    dataset_summary,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_eight_paper_datasets_present(self):
+        names = dataset_names()
+        assert len(names) == 8
+        for expected in ["youtube", "imdb", "yelp", "amazon", "bios-pt", "bios-jp",
+                         "occupancy", "census"]:
+            assert expected in names
+
+    def test_kind_filter(self):
+        assert len(dataset_names("text")) == 6
+        assert len(dataset_names("tabular")) == 2
+        with pytest.raises(ValueError):
+            dataset_names("audio")
+
+    def test_load_unknown_dataset_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("mnist")
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("youtube", scale=0.0)
+
+    def test_load_is_case_insensitive(self):
+        split = load_dataset("YouTube", scale=0.2, random_state=0)
+        assert split.name == "youtube"
+
+    def test_scale_changes_size(self):
+        small = load_dataset("youtube", scale=0.2, random_state=0)
+        large = load_dataset("youtube", scale=0.4, random_state=0)
+        assert sum(large.sizes()) > sum(small.sizes())
+
+    def test_profiles_record_paper_sizes(self):
+        profile = DATASET_PROFILES["youtube"]
+        assert profile.paper_train == 1566
+        assert profile.paper_valid == 195
+        assert profile.paper_test == 195
+        census = DATASET_PROFILES["census"]
+        assert census.paper_train == 25541
+
+    def test_text_split_has_token_sets(self, text_split):
+        assert hasattr(text_split.train, "token_sets")
+        assert text_split.kind == "text"
+
+    def test_tabular_split_has_raw_features(self, tabular_split):
+        assert hasattr(tabular_split.train, "raw_features")
+        assert tabular_split.kind == "tabular"
+
+    def test_summary_includes_paper_and_generated_sizes(self, text_split):
+        summary = dataset_summary(text_split)
+        assert summary["task"] == "Spam classification"
+        assert summary["paper_train"] == 1566
+        assert summary["n_train"] == len(text_split.train)
+        assert summary["n_classes"] == 2
+
+    def test_reproducible_generation(self):
+        first = load_dataset("census", scale=0.2, random_state=9)
+        second = load_dataset("census", scale=0.2, random_state=9)
+        assert first.sizes() == second.sizes()
+        assert (first.train.labels == second.train.labels).all()

@@ -1,0 +1,80 @@
+"""Tests for the evaluation protocol and result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import IterationRecord, RunHistory
+from repro.experiments import EvaluationProtocol, run_framework_on_dataset
+from repro.experiments.protocol import run_single_seed, summarize_histories
+
+
+class TestEvaluationProtocol:
+    def test_defaults_are_valid(self):
+        protocol = EvaluationProtocol()
+        assert protocol.n_iterations > 0
+
+    def test_evaluation_iterations_include_final(self):
+        protocol = EvaluationProtocol(n_iterations=25, eval_every=10)
+        assert protocol.evaluation_iterations() == [10, 20, 25]
+
+    def test_evaluation_iterations_exact_multiple(self):
+        protocol = EvaluationProtocol(n_iterations=30, eval_every=10)
+        assert protocol.evaluation_iterations() == [10, 20, 30]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_iterations": 0}, {"eval_every": 0}, {"n_seeds": 0}, {"dataset_scale": 0.0}],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            EvaluationProtocol(**kwargs)
+
+
+class TestRunSingleSeed:
+    def test_history_has_expected_evaluation_points(self, tiny_text_split):
+        protocol = EvaluationProtocol(n_iterations=6, eval_every=3, n_seeds=1)
+        history = run_single_seed("uncertainty", tiny_text_split, protocol, seed=0)
+        points = history.evaluation_points()
+        assert [p[0] for p in points] == [3, 6]
+        for _, accuracy in points:
+            assert 0.0 <= accuracy <= 1.0
+
+    def test_records_label_quality_at_eval_points(self, tiny_text_split):
+        protocol = EvaluationProtocol(n_iterations=4, eval_every=2, n_seeds=1)
+        history = run_single_seed("activedp", tiny_text_split, protocol, seed=0)
+        evaluated = [r for r in history.records if r.test_accuracy is not None]
+        assert all(r.label_coverage is not None for r in evaluated)
+
+
+class TestSummarizeHistories:
+    def _history(self, seed, accuracies):
+        history = RunHistory(framework="f", dataset="d", seed=seed)
+        for i, accuracy in enumerate(accuracies, start=1):
+            record = IterationRecord(iteration=i * 10, query_index=0)
+            record.test_accuracy = accuracy
+            history.add(record)
+        return history
+
+    def test_average_over_seeds(self):
+        histories = [self._history(0, [0.6, 0.8]), self._history(1, [0.4, 0.6])]
+        result = summarize_histories("f", "d", histories)
+        assert result.average_accuracy == pytest.approx(0.6)
+        assert result.final_accuracy == pytest.approx(0.7)
+
+    def test_curve_is_mean_per_evaluation_point(self):
+        histories = [self._history(0, [0.6, 0.8]), self._history(1, [0.4, 0.6])]
+        result = summarize_histories("f", "d", histories)
+        assert result.curve == [(10, pytest.approx(0.5)), (20, pytest.approx(0.7))]
+
+
+class TestRunFrameworkOnDataset:
+    def test_small_end_to_end_run(self):
+        protocol = EvaluationProtocol(
+            n_iterations=4, eval_every=2, n_seeds=2, dataset_scale=0.15, base_seed=1
+        )
+        result = run_framework_on_dataset("uncertainty", "youtube", protocol)
+        assert result.framework == "uncertainty"
+        assert result.dataset == "youtube"
+        assert len(result.histories) == 2
+        assert 0.0 <= result.average_accuracy <= 1.0
+        assert len(result.curve) == 2

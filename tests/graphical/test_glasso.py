@@ -1,0 +1,81 @@
+"""Tests for the graphical lasso estimator."""
+
+import numpy as np
+import pytest
+
+from repro.graphical import empirical_covariance, graphical_lasso
+
+
+def _chain_precision(p=5, off=0.4):
+    """Tridiagonal (chain-graph) precision matrix."""
+    precision = np.eye(p)
+    for i in range(p - 1):
+        precision[i, i + 1] = off
+        precision[i + 1, i] = off
+    return precision
+
+
+class TestGraphicalLasso:
+    def test_precision_is_symmetric(self, rng):
+        X = rng.standard_normal((200, 4))
+        result = graphical_lasso(X, alpha=0.05)
+        np.testing.assert_allclose(result.precision, result.precision.T, atol=1e-8)
+
+    def test_recovers_chain_structure(self, rng):
+        true_precision = _chain_precision()
+        covariance = np.linalg.inv(true_precision)
+        X = rng.multivariate_normal(np.zeros(5), covariance, size=3000)
+        result = graphical_lasso(X, alpha=0.05, shrinkage=0.0)
+        estimated = result.precision
+        # Direct neighbours must carry clearly larger weight than the
+        # (conditionally independent) distant pair (0, 4).
+        assert abs(estimated[0, 1]) > abs(estimated[0, 4]) + 0.05
+        assert abs(estimated[2, 3]) > abs(estimated[0, 3]) + 0.05
+
+    def test_large_alpha_gives_diagonal_precision(self, rng):
+        X = rng.standard_normal((300, 4))
+        result = graphical_lasso(X, alpha=5.0)
+        off_diag = result.precision - np.diag(np.diag(result.precision))
+        np.testing.assert_allclose(off_diag, 0.0, atol=1e-4)
+
+    def test_accepts_precomputed_covariance(self, rng):
+        X = rng.standard_normal((100, 3))
+        cov = empirical_covariance(X)
+        result = graphical_lasso(cov, alpha=0.1, from_covariance=True)
+        assert result.precision.shape == (3, 3)
+
+    def test_single_variable(self):
+        result = graphical_lasso(np.array([[2.0]]), alpha=0.1, from_covariance=True)
+        assert result.precision[0, 0] == pytest.approx(0.5)
+
+    def test_negative_alpha_raises(self, rng):
+        with pytest.raises(ValueError):
+            graphical_lasso(rng.standard_normal((10, 3)), alpha=-0.1)
+
+    def test_non_square_covariance_raises(self, rng):
+        with pytest.raises(ValueError):
+            graphical_lasso(rng.standard_normal((3, 4)), alpha=0.1, from_covariance=True)
+
+    def test_precision_positive_diagonal(self, rng):
+        X = rng.standard_normal((150, 5))
+        result = graphical_lasso(X, alpha=0.05)
+        assert np.all(np.diag(result.precision) > 0)
+
+
+class TestEmpiricalCovariance:
+    def test_matches_numpy_cov(self, rng):
+        X = rng.standard_normal((500, 3))
+        ours = empirical_covariance(X)
+        reference = np.cov(X, rowvar=False, bias=True)
+        np.testing.assert_allclose(ours, reference, atol=1e-10)
+
+    def test_shrinkage_moves_toward_identity_scale(self, rng):
+        X = rng.standard_normal((100, 3)) @ np.diag([1.0, 5.0, 10.0])
+        raw = empirical_covariance(X, shrinkage=0.0)
+        shrunk = empirical_covariance(X, shrinkage=1.0)
+        # Full shrinkage yields an isotropic matrix.
+        np.testing.assert_allclose(shrunk, np.eye(3) * np.trace(raw) / 3, atol=1e-8)
+
+    def test_invalid_shrinkage_raises(self, rng):
+        with pytest.raises(ValueError):
+            empirical_covariance(rng.standard_normal((10, 2)), shrinkage=2.0)

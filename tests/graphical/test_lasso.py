@@ -1,0 +1,51 @@
+"""Tests for the coordinate-descent lasso inner solver."""
+
+import numpy as np
+import pytest
+
+from repro.graphical import lasso_coordinate_descent
+
+
+class TestLassoCoordinateDescent:
+    def test_zero_penalty_recovers_least_squares(self, rng):
+        X = rng.standard_normal((100, 4))
+        true_w = np.array([1.5, -2.0, 0.0, 0.5])
+        y = X @ true_w
+        gram = X.T @ X
+        linear = X.T @ y
+        solution = lasso_coordinate_descent(gram, linear, alpha=0.0, max_iter=500)
+        np.testing.assert_allclose(solution, true_w, atol=1e-3)
+
+    def test_large_penalty_gives_zero_solution(self, rng):
+        X = rng.standard_normal((50, 3))
+        y = X[:, 0]
+        gram, linear = X.T @ X, X.T @ y
+        solution = lasso_coordinate_descent(gram, linear, alpha=1e6)
+        np.testing.assert_allclose(solution, 0.0)
+
+    def test_penalty_induces_sparsity(self, rng):
+        X = rng.standard_normal((200, 6))
+        true_w = np.array([3.0, 0.0, 0.0, 0.0, 0.0, -3.0])
+        y = X @ true_w + 0.01 * rng.standard_normal(200)
+        gram, linear = X.T @ X, X.T @ y
+        solution = lasso_coordinate_descent(gram, linear, alpha=50.0)
+        assert np.sum(np.abs(solution) > 1e-6) <= 3
+        assert abs(solution[0]) > 0.5 and abs(solution[5]) > 0.5
+
+    def test_warm_start_accepted(self, rng):
+        X = rng.standard_normal((50, 3))
+        y = X[:, 0]
+        gram, linear = X.T @ X, X.T @ y
+        warm = lasso_coordinate_descent(gram, linear, alpha=1.0, initial=np.ones(3))
+        cold = lasso_coordinate_descent(gram, linear, alpha=1.0)
+        np.testing.assert_allclose(warm, cold, atol=1e-4)
+
+    def test_invalid_inputs_raise(self, rng):
+        gram = rng.standard_normal((3, 2))
+        with pytest.raises(ValueError):
+            lasso_coordinate_descent(gram, np.zeros(3), alpha=0.1)
+        square = np.eye(3)
+        with pytest.raises(ValueError):
+            lasso_coordinate_descent(square, np.zeros(2), alpha=0.1)
+        with pytest.raises(ValueError):
+            lasso_coordinate_descent(square, np.zeros(3), alpha=-1.0)

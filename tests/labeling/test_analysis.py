@@ -1,0 +1,64 @@
+"""Tests for LF analysis statistics."""
+
+import numpy as np
+import pytest
+
+from repro.labeling import ABSTAIN, LFAnalysis
+
+
+MATRIX = np.array(
+    [
+        [0, ABSTAIN, 0],
+        [0, 1, ABSTAIN],
+        [ABSTAIN, 1, 1],
+        [ABSTAIN, ABSTAIN, ABSTAIN],
+    ]
+)
+Y_TRUE = np.array([0, 1, 1, 0])
+
+
+class TestLFAnalysis:
+    def test_coverage_per_lf(self):
+        coverage = LFAnalysis(MATRIX).coverage()
+        np.testing.assert_allclose(coverage, [0.5, 0.5, 0.5])
+
+    def test_overall_coverage(self):
+        assert LFAnalysis(MATRIX).overall_coverage() == pytest.approx(0.75)
+
+    def test_overlap(self):
+        overlap = LFAnalysis(MATRIX).overlap()
+        # Row 0 overlaps LFs 0 & 2; row 1 overlaps LFs 0 & 1; row 2 overlaps 1 & 2.
+        np.testing.assert_allclose(overlap, [0.5, 0.5, 0.5])
+
+    def test_conflict(self):
+        conflict = LFAnalysis(MATRIX).conflict()
+        # Only row 1 has a disagreement (LF0 says 0, LF1 says 1).
+        np.testing.assert_allclose(conflict, [0.25, 0.25, 0.0])
+
+    def test_accuracies_with_gold_labels(self):
+        accuracies = LFAnalysis(MATRIX).accuracies(Y_TRUE)
+        np.testing.assert_allclose(accuracies, [0.5, 1.0, 1.0])
+
+    def test_accuracy_of_never_firing_lf_is_zero(self):
+        matrix = np.full((3, 1), ABSTAIN)
+        assert LFAnalysis(matrix).accuracies(np.zeros(3, dtype=int))[0] == 0.0
+
+    def test_summary_structure(self):
+        summaries = LFAnalysis(MATRIX, lf_names=["a", "b", "c"]).summary(Y_TRUE)
+        assert [s.name for s in summaries] == ["a", "b", "c"]
+        assert summaries[1].polarity == (1,)
+        assert summaries[0].n_labeled == 2
+        assert summaries[1].accuracy == pytest.approx(1.0)
+
+    def test_summary_without_gold_labels_has_none_accuracy(self):
+        summaries = LFAnalysis(MATRIX).summary()
+        assert all(s.accuracy is None for s in summaries)
+
+    def test_name_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LFAnalysis(MATRIX, lf_names=["only-one"])
+
+    def test_empty_matrix(self):
+        analysis = LFAnalysis(np.empty((5, 0), dtype=int))
+        assert analysis.overall_coverage() == 0.0
+        assert analysis.coverage().shape == (0,)

@@ -1,0 +1,52 @@
+"""Tests for label-matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.labeling import ABSTAIN, KeywordLF, apply_lfs, label_matrix_from_outputs
+from repro.labeling.label_matrix import coverage_mask
+
+
+class TestApplyLFs:
+    def test_shape_matches_lfs_and_instances(self, tiny_text_split):
+        train = tiny_text_split.train
+        lfs = [KeywordLF("good", 0), KeywordLF("bad", 1), KeywordLF("great", 0)]
+        matrix = apply_lfs(lfs, train)
+        assert matrix.shape == (len(train), 3)
+
+    def test_columns_match_individual_application(self, tiny_text_split):
+        train = tiny_text_split.train
+        lfs = [KeywordLF("good", 0), KeywordLF("awful", 1)]
+        matrix = apply_lfs(lfs, train)
+        for j, lf in enumerate(lfs):
+            np.testing.assert_array_equal(matrix[:, j], lf.apply(train))
+
+    def test_empty_lf_list_gives_zero_columns(self, tiny_text_split):
+        matrix = apply_lfs([], tiny_text_split.train)
+        assert matrix.shape == (len(tiny_text_split.train), 0)
+
+
+class TestLabelMatrixFromOutputs:
+    def test_stacks_columns(self):
+        a = np.array([0, 1, ABSTAIN])
+        b = np.array([ABSTAIN, 1, 1])
+        matrix = label_matrix_from_outputs([a, b])
+        assert matrix.shape == (3, 2)
+        np.testing.assert_array_equal(matrix[:, 0], a)
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            label_matrix_from_outputs([])
+
+    def test_inconsistent_lengths_raise(self):
+        with pytest.raises(ValueError):
+            label_matrix_from_outputs([np.array([0, 1]), np.array([1])])
+
+
+class TestCoverageMask:
+    def test_identifies_covered_rows(self):
+        matrix = np.array([[ABSTAIN, ABSTAIN], [0, ABSTAIN], [ABSTAIN, 1]])
+        np.testing.assert_array_equal(coverage_mask(matrix), [False, True, True])
+
+    def test_zero_column_matrix_is_uncovered(self):
+        assert not coverage_mask(np.empty((4, 0), dtype=int)).any()

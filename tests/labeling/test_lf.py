@@ -1,0 +1,76 @@
+"""Tests for label-function abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.labeling import ABSTAIN, KeywordLF, LambdaLF, ThresholdLF
+
+
+class TestKeywordLF:
+    def test_fires_on_documents_containing_keyword(self, tiny_text_split):
+        train = tiny_text_split.train
+        lf = KeywordLF("good", label=0)
+        outputs = lf.apply(train)
+        fired = outputs != ABSTAIN
+        assert np.any(fired)
+        for i in np.flatnonzero(fired):
+            assert "good" in train.token_sets[i]
+        for i in np.flatnonzero(~fired):
+            assert "good" not in train.token_sets[i]
+
+    def test_emits_configured_label(self, tiny_text_split):
+        outputs = KeywordLF("bad", label=1).apply(tiny_text_split.train)
+        assert set(outputs.tolist()) <= {ABSTAIN, 1}
+
+    def test_equality_and_hash(self):
+        assert KeywordLF("x", 1) == KeywordLF("x", 1)
+        assert KeywordLF("x", 1) != KeywordLF("x", 0)
+        assert len({KeywordLF("x", 1), KeywordLF("x", 1)}) == 1
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            KeywordLF("", 1)
+        with pytest.raises(ValueError):
+            KeywordLF("word", -2)
+
+
+class TestThresholdLF:
+    def test_ge_operator(self, tiny_tabular_split):
+        train = tiny_tabular_split.train
+        value = float(np.median(train.raw_features[:, 0]))
+        outputs = ThresholdLF(0, value, ">=", 1).apply(train)
+        fires = train.raw_features[:, 0] >= value
+        np.testing.assert_array_equal(outputs != ABSTAIN, fires)
+        assert set(outputs[fires].tolist()) == {1}
+
+    def test_le_operator(self, tiny_tabular_split):
+        train = tiny_tabular_split.train
+        value = float(np.median(train.raw_features[:, 1]))
+        outputs = ThresholdLF(1, value, "<=", 0).apply(train)
+        fires = train.raw_features[:, 1] <= value
+        np.testing.assert_array_equal(outputs != ABSTAIN, fires)
+
+    def test_equality_and_hash(self):
+        assert ThresholdLF(0, 1.0, ">=", 1) == ThresholdLF(0, 1.0, ">=", 1)
+        assert ThresholdLF(0, 1.0, ">=", 1) != ThresholdLF(0, 1.0, "<=", 1)
+
+    def test_invalid_operator_raises(self):
+        with pytest.raises(ValueError):
+            ThresholdLF(0, 1.0, ">", 1)
+
+    def test_invalid_feature_raises(self):
+        with pytest.raises(ValueError):
+            ThresholdLF(-1, 1.0, ">=", 1)
+
+
+class TestLambdaLF:
+    def test_wraps_callable_over_instances(self, tiny_text_split):
+        train = tiny_text_split.train
+        lf = LambdaLF(lambda text: 1 if "bad" in text else ABSTAIN, name="contains-bad")
+        outputs = lf.apply(train)
+        assert outputs.shape == (len(train),)
+        assert set(outputs.tolist()) <= {ABSTAIN, 1}
+
+    def test_non_callable_raises(self):
+        with pytest.raises(TypeError):
+            LambdaLF("not-callable", name="x")

@@ -1,0 +1,44 @@
+"""Tests for the decision-stump classifier."""
+
+import numpy as np
+import pytest
+
+from repro.models import DecisionStump
+
+
+class TestDecisionStump:
+    def test_finds_informative_feature(self, rng):
+        n = 300
+        y = rng.integers(0, 2, n)
+        X = rng.standard_normal((n, 4))
+        X[:, 2] += 4.0 * y  # only feature 2 carries signal
+        stump = DecisionStump().fit(X, y)
+        assert stump.feature_ == 2
+        assert stump.score(X, y) > 0.9
+
+    def test_proba_rows_sum_to_one(self, rng):
+        X = rng.standard_normal((60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        proba = DecisionStump().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_sample_weights_respected(self, rng):
+        # Feature 0 separates a heavy group, feature 1 a light group.
+        n = 200
+        y = rng.integers(0, 2, n)
+        X = rng.standard_normal((n, 2))
+        X[:, 0] += 2.0 * y
+        X[:, 1] += 2.0 * (1 - y)
+        weights = np.ones(n)
+        stump = DecisionStump().fit(X, y, sample_weight=weights)
+        assert stump.feature_ in (0, 1)
+
+    def test_invalid_threshold_count_raises(self):
+        with pytest.raises(ValueError):
+            DecisionStump(n_thresholds=0)
+
+    def test_fixed_class_count(self, rng):
+        X = rng.standard_normal((30, 2))
+        y = (X[:, 0] > 0).astype(int)
+        stump = DecisionStump(n_classes=3).fit(X, y)
+        assert stump.predict_proba(X).shape == (30, 3)

@@ -1,0 +1,131 @@
+"""Tests for classification metrics (including abstain handling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    coverage_score,
+    f1_score,
+    log_loss,
+    precision_score,
+    recall_score,
+)
+
+
+class TestAccuracyScore:
+    def test_perfect_predictions(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 1, 1, 0]) == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy_score([0, 1], [1, 0]) == 0.0
+
+    def test_partial(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 1, 0, 1]) == 0.5
+
+    def test_abstain_counts_as_error_by_default(self):
+        assert accuracy_score([0, 1], [0, -1]) == 0.5
+
+    def test_abstain_ignored_when_requested(self):
+        assert accuracy_score([0, 1, 1], [0, -1, -1], ignore_abstain=True) == 1.0
+
+    def test_all_abstain_with_ignore_returns_zero(self):
+        assert accuracy_score([0, 1], [-1, -1], ignore_abstain=True) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+
+class TestCoverageScore:
+    def test_full_coverage(self):
+        assert coverage_score([0, 1, 1]) == 1.0
+
+    def test_partial_coverage(self):
+        assert coverage_score([0, -1, 1, -1]) == 0.5
+
+    def test_empty_input(self):
+        assert coverage_score(np.array([])) == 0.0
+
+
+class TestPrecisionRecallF1:
+    def test_precision_simple(self):
+        # Two predicted positive, one of them correct.
+        assert precision_score([1, 0, 1, 0], [1, 1, 0, 0]) == 0.5
+
+    def test_recall_simple(self):
+        # Two actual positives, one recovered.
+        assert recall_score([1, 0, 1, 0], [1, 1, 0, 0]) == 0.5
+
+    def test_precision_no_predictions_is_zero(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+
+    def test_recall_no_positives_is_zero(self):
+        assert recall_score([0, 0], [1, 1]) == 0.0
+
+    def test_f1_harmonic_mean(self):
+        y_true = [1, 0, 1, 0]
+        y_pred = [1, 1, 0, 0]
+        precision = precision_score(y_true, y_pred)
+        recall = recall_score(y_true, y_pred)
+        expected = 2 * precision * recall / (precision + recall)
+        assert f1_score(y_true, y_pred) == pytest.approx(expected)
+
+    def test_f1_zero_when_no_overlap(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+
+class TestConfusionMatrix:
+    def test_shape_and_counts(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 0] == 1
+        assert matrix[0, 1] == 1
+        assert matrix[1, 1] == 2
+        assert matrix[1, 0] == 0
+
+    def test_abstain_excluded(self):
+        matrix = confusion_matrix([0, 1], [-1, 1], n_classes=2)
+        assert matrix.sum() == 1
+
+    def test_explicit_n_classes(self):
+        matrix = confusion_matrix([0, 1], [0, 1], n_classes=4)
+        assert matrix.shape == (4, 4)
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        proba = np.array([[0.99, 0.01], [0.01, 0.99]])
+        assert log_loss([0, 1], proba) < 0.02
+
+    def test_confident_wrong_is_large(self):
+        proba = np.array([[0.01, 0.99]])
+        assert log_loss([0], proba) > 4.0
+
+    def test_uniform_equals_log_c(self):
+        proba = np.full((10, 2), 0.5)
+        assert log_loss(np.zeros(10, dtype=int), proba) == pytest.approx(np.log(2))
+
+    def test_rejects_1d_proba(self):
+        with pytest.raises(ValueError):
+            log_loss([0, 1], [0.5, 0.5])
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50),
+    st.lists(st.integers(min_value=-1, max_value=3), min_size=1, max_size=50),
+)
+def test_accuracy_is_bounded_property(y_true, y_pred):
+    """Accuracy always lies in [0, 1] for equal-length inputs."""
+    size = min(len(y_true), len(y_pred))
+    score = accuracy_score(y_true[:size], y_pred[:size])
+    assert 0.0 <= score <= 1.0
+
+
+@given(st.lists(st.integers(min_value=-1, max_value=3), min_size=1, max_size=50))
+def test_coverage_matches_manual_count_property(y_pred):
+    """Coverage equals the fraction of non-abstain entries."""
+    expected = sum(1 for value in y_pred if value != -1) / len(y_pred)
+    assert coverage_score(y_pred) == pytest.approx(expected)

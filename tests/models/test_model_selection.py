@@ -1,0 +1,61 @@
+"""Tests for the train/validation/test split utility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import train_valid_test_split
+
+
+class TestTrainValidTestSplit:
+    def test_partitions_every_index_exactly_once(self):
+        train, valid, test = train_valid_test_split(100, random_state=0)
+        combined = np.concatenate([train, valid, test])
+        assert sorted(combined.tolist()) == list(range(100))
+
+    def test_split_sizes_follow_fractions(self):
+        train, valid, test = train_valid_test_split(1000, 0.1, 0.1, random_state=0)
+        assert len(valid) == 100
+        assert len(test) == 100
+        assert len(train) == 800
+
+    def test_reproducible_with_same_seed(self):
+        first = train_valid_test_split(50, random_state=42)
+        second = train_valid_test_split(50, random_state=42)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        first = train_valid_test_split(200, random_state=1)
+        second = train_valid_test_split(200, random_state=2)
+        assert not np.array_equal(first[0], second[0])
+
+    def test_stratified_split_preserves_class_ratio(self, rng):
+        labels = np.array([0] * 80 + [1] * 20)
+        train, valid, test = train_valid_test_split(
+            100, 0.2, 0.2, stratify=labels, random_state=0
+        )
+        for split in (train, valid, test):
+            ratio = np.mean(labels[split] == 1)
+            assert 0.1 <= ratio <= 0.3
+
+    def test_invalid_fractions_raise(self):
+        with pytest.raises(ValueError):
+            train_valid_test_split(10, 0.6, 0.6)
+
+    def test_zero_samples_raise(self):
+        with pytest.raises(ValueError):
+            train_valid_test_split(0)
+
+    def test_stratify_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            train_valid_test_split(10, stratify=np.zeros(5))
+
+
+@given(st.integers(10, 300), st.integers(0, 2**31 - 1))
+def test_split_is_a_partition_property(n_samples, seed):
+    """Splits are disjoint and their union is the full index range."""
+    train, valid, test = train_valid_test_split(n_samples, random_state=seed)
+    all_indices = np.concatenate([train, valid, test])
+    assert len(all_indices) == n_samples
+    assert len(np.unique(all_indices)) == n_samples

@@ -1,0 +1,46 @@
+"""Tests for the Gaussian naive Bayes classifier."""
+
+import numpy as np
+import pytest
+
+from repro.models import GaussianNaiveBayes
+
+
+class TestGaussianNaiveBayes:
+    def test_learns_shifted_gaussians(self, rng):
+        n = 300
+        y = rng.integers(0, 2, n)
+        X = rng.standard_normal((n, 3)) + 3.0 * y[:, None]
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_proba_rows_sum_to_one(self, rng):
+        X = rng.standard_normal((50, 2))
+        y = rng.integers(0, 2, 50)
+        proba = GaussianNaiveBayes().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_respects_fixed_class_count(self, rng):
+        X = rng.standard_normal((30, 2))
+        y = np.zeros(30, dtype=int)
+        y[:10] = 1
+        model = GaussianNaiveBayes(n_classes=3).fit(X, y)
+        assert model.predict_proba(X).shape == (30, 3)
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict_proba(rng.standard_normal((3, 2)))
+
+    def test_sample_weights_shift_decision(self, rng):
+        n = 200
+        y = rng.integers(0, 2, n)
+        X = rng.standard_normal((n, 2)) + 1.0 * y[:, None]
+        heavy_on_one = np.where(y == 1, 5.0, 1.0)
+        weighted = GaussianNaiveBayes().fit(X, y, sample_weight=heavy_on_one)
+        assert weighted.class_prior_[1] > 0.5
+
+    def test_constant_feature_does_not_crash(self, rng):
+        X = np.column_stack([np.ones(40), rng.standard_normal(40)])
+        y = (X[:, 1] > 0).astype(int)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert np.isfinite(model.predict_proba(X)).all()

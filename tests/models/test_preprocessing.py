@@ -1,0 +1,59 @@
+"""Tests for the StandardScaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.models import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.standard_normal((200, 3)) * 5 + 10
+        transformed = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.column_stack([np.full(10, 7.0), np.arange(10, dtype=float)])
+        transformed = StandardScaler().fit_transform(X)
+        assert np.isfinite(transformed).all()
+        np.testing.assert_allclose(transformed[:, 0], 0.0)
+
+    def test_transform_uses_training_statistics(self, rng):
+        X_train = rng.standard_normal((100, 2))
+        X_test = rng.standard_normal((20, 2)) + 5.0
+        scaler = StandardScaler().fit(X_train)
+        transformed = scaler.transform(X_test)
+        # Test data mean stays far from zero because train stats are reused.
+        assert transformed.mean() > 2.0
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(rng.standard_normal((3, 2)))
+
+    def test_feature_count_mismatch_raises(self, rng):
+        scaler = StandardScaler().fit(rng.standard_normal((10, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(rng.standard_normal((5, 4)))
+
+    def test_with_mean_false_keeps_offset(self, rng):
+        X = rng.standard_normal((50, 2)) + 100.0
+        transformed = StandardScaler(with_mean=False).fit_transform(X)
+        assert transformed.mean() > 10.0
+
+
+@given(
+    arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(5, 30), st.integers(1, 5)),
+        elements=st.floats(-1e3, 1e3, allow_nan=False),
+    )
+)
+def test_transform_is_affine_invertible_property(X):
+    """x == inverse(standardise(x)) up to floating error (affine invertibility)."""
+    scaler = StandardScaler().fit(X)
+    transformed = scaler.transform(X)
+    recovered = transformed * scaler.scale_ + scaler.mean_
+    np.testing.assert_allclose(recovered, X, atol=1e-6)

@@ -1,0 +1,123 @@
+"""Tests for the simulated user, label-noise variant and oracle."""
+
+import numpy as np
+import pytest
+
+from repro.labeling import ABSTAIN, KeywordLF
+from repro.simulation import NoisySimulatedUser, Oracle, SimulatedUser
+
+
+class TestSimulatedUser:
+    def test_designed_lf_fires_correctly_on_query(self, tiny_text_split):
+        train = tiny_text_split.train
+        user = SimulatedUser(train, random_state=0)
+        for query in range(10):
+            lf = user.design_lf(query)
+            if lf is None:
+                continue
+            output = lf.apply(train.subset(np.array([query])))[0]
+            # Noise-free protocol: the LF targets the query's true class.
+            assert output == train.labels[query]
+
+    def test_returned_lfs_have_accuracy_above_threshold(self, tiny_text_split):
+        train = tiny_text_split.train
+        user = SimulatedUser(train, accuracy_threshold=0.6, random_state=0)
+        for query in range(15):
+            lf = user.design_lf(query)
+            if lf is None:
+                continue
+            outputs = lf.apply(train)
+            fired = outputs != ABSTAIN
+            accuracy = np.mean(outputs[fired] == train.labels[fired])
+            assert accuracy > 0.6
+
+    def test_no_duplicate_lfs_across_queries(self, tiny_text_split):
+        user = SimulatedUser(tiny_text_split.train, random_state=0)
+        returned = []
+        for query in range(30):
+            lf = user.design_lf(query)
+            if lf is not None:
+                returned.append(lf)
+        assert len(returned) == len(set(returned))
+
+    def test_verify_lf_uses_accuracy_threshold(self, tiny_text_split):
+        train = tiny_text_split.train
+        user = SimulatedUser(train, accuracy_threshold=0.6, random_state=0)
+        good = KeywordLF("good", 0)
+        outputs = good.apply(train)
+        fired = outputs != ABSTAIN
+        expected = np.mean(outputs[fired] == train.labels[fired]) > 0.6
+        assert user.verify_lf(good) == expected
+
+    def test_verify_never_firing_lf_is_false(self, tiny_text_split):
+        user = SimulatedUser(tiny_text_split.train, random_state=0)
+        assert not user.verify_lf(KeywordLF("zzzznotaword", 0))
+
+    def test_label_instance_returns_ground_truth(self, tiny_text_split):
+        train = tiny_text_split.train
+        user = SimulatedUser(train, random_state=0)
+        assert user.label_instance(4) == train.labels[4]
+
+    def test_invalid_threshold_raises(self, tiny_text_split):
+        with pytest.raises(ValueError):
+            SimulatedUser(tiny_text_split.train, accuracy_threshold=1.0)
+
+    def test_deterministic_with_seed(self, tiny_text_split):
+        first = SimulatedUser(tiny_text_split.train, random_state=3)
+        second = SimulatedUser(tiny_text_split.train, random_state=3)
+        for query in range(10):
+            assert first.design_lf(query) == second.design_lf(query)
+
+
+class TestNoisySimulatedUser:
+    def test_zero_noise_behaves_like_clean_user(self, tiny_text_split):
+        train = tiny_text_split.train
+        noisy = NoisySimulatedUser(train, noise_rate=0.0, random_state=0)
+        for query in range(10):
+            lf = noisy.design_lf(query)
+            if lf is None:
+                continue
+            assert lf.apply(train.subset(np.array([query])))[0] == train.labels[query]
+        assert noisy.n_noisy_responses == 0
+
+    def test_full_noise_produces_misfiring_lfs(self, tiny_text_split):
+        train = tiny_text_split.train
+        noisy = NoisySimulatedUser(train, noise_rate=1.0, random_state=0)
+        wrong = 0
+        answered = 0
+        for query in range(40):
+            lf = noisy.design_lf(query)
+            if lf is None:
+                continue
+            answered += 1
+            output = lf.apply(train.subset(np.array([query])))[0]
+            if output != train.labels[query]:
+                wrong += 1
+        assert answered > 0
+        # Noisy answers dominate (some fall back to clean when no flipped
+        # candidate exists on that instance).
+        assert noisy.n_noisy_responses == wrong
+        assert wrong > 0
+
+    def test_invalid_noise_rate_raises(self, tiny_text_split):
+        with pytest.raises(ValueError):
+            NoisySimulatedUser(tiny_text_split.train, noise_rate=1.5)
+
+
+class TestOracle:
+    def test_returns_true_labels_without_noise(self, tiny_text_split):
+        train = tiny_text_split.train
+        oracle = Oracle(train)
+        labels = oracle.label_many(range(20))
+        np.testing.assert_array_equal(labels, train.labels[:20])
+        assert oracle.n_queries == 20
+
+    def test_full_noise_never_returns_true_label(self, tiny_text_split):
+        train = tiny_text_split.train
+        oracle = Oracle(train, noise_rate=1.0, random_state=0)
+        labels = oracle.label_many(range(20))
+        assert np.all(labels != train.labels[:20])
+
+    def test_invalid_noise_rate_raises(self, tiny_text_split):
+        with pytest.raises(ValueError):
+            Oracle(tiny_text_split.train, noise_rate=-0.1)

@@ -1,0 +1,109 @@
+"""Tests for shared utilities (RNG helpers and validation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    check_1d,
+    check_2d,
+    check_consistent_length,
+    check_labels,
+    check_probability_matrix,
+    ensure_rng,
+    spawn_seeds,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_negative_seed_raises(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnSeeds:
+    def test_returns_requested_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_deterministic(self):
+        assert spawn_seeds(7, 3) == spawn_seeds(7, 3)
+
+    def test_children_are_distinct(self):
+        seeds = spawn_seeds(0, 10)
+        assert len(set(seeds)) == 10
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, 0)
+
+
+class TestValidation:
+    def test_check_1d_accepts_lists(self):
+        assert check_1d([1, 2, 3]).shape == (3,)
+
+    def test_check_1d_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_1d(np.zeros((2, 2)))
+
+    def test_check_2d_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_2d(np.array([[1.0, np.nan]]))
+
+    def test_check_2d_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_2d(np.empty((0, 3)))
+
+    def test_check_consistent_length(self):
+        check_consistent_length([1, 2], [3, 4])
+        with pytest.raises(ValueError):
+            check_consistent_length([1, 2], [3])
+
+    def test_check_labels_accepts_valid(self):
+        labels = check_labels([0, 1, 1], n_classes=2)
+        assert labels.dtype.kind == "i"
+
+    def test_check_labels_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_labels([0, 3], n_classes=2)
+
+    def test_check_labels_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_labels([-1, 0])
+
+    def test_check_labels_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            check_labels([0.5, 1.0])
+
+    def test_check_probability_matrix_valid(self):
+        check_probability_matrix(np.array([[0.3, 0.7], [0.5, 0.5]]))
+
+    def test_check_probability_matrix_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.array([[0.3, 0.3]]))
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.array([[1.2, -0.2]]))
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(1, 20))
+def test_spawn_seeds_property(base_seed, n):
+    """Spawned seeds are deterministic, non-negative and of the right count."""
+    seeds = spawn_seeds(base_seed, n)
+    assert len(seeds) == n
+    assert all(seed >= 0 for seed in seeds)
+    assert seeds == spawn_seeds(base_seed, n)

@@ -1,0 +1,57 @@
+"""Tests for the tokenizer and stop-word handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text import STOP_WORDS, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        # "out" and "my" are stop words and are dropped by default.
+        assert tokenize("Check OUT my Channel") == ["check", "channel"]
+        assert tokenize("Check OUT Channel", remove_stop_words=False) == [
+            "check", "out", "channel",
+        ]
+
+    def test_strips_punctuation_and_digits(self):
+        assert tokenize("win $1000 prize!!!") == ["win", "prize"]
+
+    def test_removes_stop_words_by_default(self):
+        tokens = tokenize("this is the best song")
+        assert "the" not in tokens
+        assert "best" in tokens and "song" in tokens
+
+    def test_keeps_stop_words_when_disabled(self):
+        tokens = tokenize("this is the best", remove_stop_words=False)
+        assert "the" in tokens
+
+    def test_min_length_filter(self):
+        assert tokenize("a ab abc", remove_stop_words=False, min_length=3) == ["abc"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError):
+            tokenize(123)
+
+    def test_stop_words_are_lowercase(self):
+        assert all(word == word.lower() for word in STOP_WORDS)
+
+
+@given(st.text(max_size=200))
+def test_tokens_are_clean_property(text):
+    """Every token is lowercase, alphabetic, >= 2 chars and not a stop word."""
+    for token in tokenize(text):
+        assert token.isalpha()
+        assert token == token.lower()
+        assert len(token) >= 2
+        assert token not in STOP_WORDS
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll",)), max_size=50))
+def test_tokenize_idempotent_on_own_output_property(text):
+    """Re-tokenising the joined output returns the same tokens."""
+    tokens = tokenize(text)
+    assert tokenize(" ".join(tokens)) == tokens

@@ -1,0 +1,95 @@
+"""Tests for CountVectorizer and TfidfVectorizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text import CountVectorizer, TfidfVectorizer
+
+DOCS = [
+    "check out my channel for free money",
+    "check the new spam filter",
+    "what a beautiful song and melody",
+    "this song brings back memories",
+]
+
+
+class TestCountVectorizer:
+    def test_counts_match_occurrences(self):
+        vectorizer = CountVectorizer()
+        matrix = vectorizer.fit_transform(["spam spam ham", "ham"])
+        names = vectorizer.get_feature_names()
+        spam_col = names.index("spam")
+        ham_col = names.index("ham")
+        assert matrix[0, spam_col] == 2
+        assert matrix[0, ham_col] == 1
+        assert matrix[1, spam_col] == 0
+
+    def test_binary_mode_caps_at_one(self):
+        matrix = CountVectorizer(binary=True).fit_transform(["spam spam spam"])
+        assert matrix.max() == 1.0
+
+    def test_unknown_tokens_ignored_at_transform(self):
+        vectorizer = CountVectorizer().fit(["known words only"])
+        matrix = vectorizer.transform(["completely different vocabulary"])
+        assert matrix.sum() == 0.0
+
+    def test_matrix_shape(self):
+        vectorizer = CountVectorizer()
+        matrix = vectorizer.fit_transform(DOCS)
+        assert matrix.shape == (len(DOCS), len(vectorizer.vocabulary_))
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            CountVectorizer().transform(["x"])
+
+    def test_min_df_prunes(self):
+        vectorizer = CountVectorizer(min_df=2).fit(DOCS)
+        assert "song" in vectorizer.vocabulary_
+        assert "melody" not in vectorizer.vocabulary_
+
+
+class TestTfidfVectorizer:
+    def test_rows_are_l2_normalised(self):
+        matrix = TfidfVectorizer().fit_transform(DOCS)
+        norms = np.linalg.norm(matrix, axis=1)
+        np.testing.assert_allclose(norms[norms > 0], 1.0, atol=1e-9)
+
+    def test_rare_terms_have_higher_idf(self):
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        names = vectorizer.get_feature_names()
+        idf = vectorizer.idf_
+        assert idf[names.index("melody")] > idf[names.index("song")]
+
+    def test_empty_document_row_is_zero(self):
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        matrix = vectorizer.transform([""])
+        np.testing.assert_allclose(matrix, 0.0)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["x"])
+
+    def test_values_non_negative(self):
+        matrix = TfidfVectorizer().fit_transform(DOCS)
+        assert matrix.min() >= 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.text(alphabet="abcdefg ", min_size=1, max_size=30),
+        min_size=2,
+        max_size=8,
+    )
+)
+def test_tfidf_rows_unit_or_zero_property(documents):
+    """Every TF-IDF row has L2 norm 1 (non-empty doc) or 0 (empty doc)."""
+    try:
+        matrix = TfidfVectorizer().fit_transform(documents)
+    except ValueError:
+        # Corpus with no valid tokens at all; nothing to check.
+        return
+    norms = np.linalg.norm(matrix, axis=1)
+    for norm in norms:
+        assert norm == pytest.approx(0.0, abs=1e-9) or norm == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,58 @@
+"""Tests for the Vocabulary container."""
+
+import pytest
+
+from repro.text import Vocabulary
+
+
+DOCS = [
+    ["spam", "check", "channel"],
+    ["spam", "free", "money"],
+    ["song", "love", "music"],
+    ["song", "spam"],
+]
+
+
+class TestVocabulary:
+    def test_contains_all_frequent_tokens(self):
+        vocab = Vocabulary().fit(DOCS)
+        assert "spam" in vocab and "song" in vocab
+
+    def test_min_df_prunes_rare_tokens(self):
+        vocab = Vocabulary(min_df=2).fit(DOCS)
+        assert "spam" in vocab
+        assert "check" not in vocab  # appears in a single document
+
+    def test_max_features_keeps_most_frequent(self):
+        vocab = Vocabulary(max_features=1).fit(DOCS)
+        assert len(vocab) == 1
+        assert "spam" in vocab  # highest document frequency (3)
+
+    def test_index_token_roundtrip(self):
+        vocab = Vocabulary().fit(DOCS)
+        for token in vocab.tokens:
+            assert vocab.token(vocab.index(token)) == token
+
+    def test_document_frequency_counts_documents_not_occurrences(self):
+        vocab = Vocabulary().fit([["dup", "dup", "dup"], ["dup"]])
+        assert vocab.document_frequency["dup"] == 2
+
+    def test_deterministic_ordering(self):
+        first = Vocabulary().fit(DOCS).tokens
+        second = Vocabulary().fit(DOCS).tokens
+        assert first == second
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            Vocabulary().fit([])
+
+    def test_unknown_token_raises_keyerror(self):
+        vocab = Vocabulary().fit(DOCS)
+        with pytest.raises(KeyError):
+            vocab.index("missing")
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_df=0)
+        with pytest.raises(ValueError):
+            Vocabulary(max_features=0)
