@@ -14,17 +14,19 @@ import numpy as np
 from repro.experiments import run_figure3
 from repro.experiments.figure3 import FIGURE3_FRAMEWORKS
 from repro.experiments.reporting import format_curve_series, format_result_table
+from repro.runner import last_report
 
 
-def test_figure3_end_to_end_comparison(benchmark, bench_protocol, bench_datasets):
+def test_figure3_end_to_end_comparison(benchmark, bench_protocol, bench_datasets, bench_execution):
     """Run the full framework x dataset comparison and print Figure 3's content."""
 
     def run():
-        return run_figure3(bench_protocol, datasets=bench_datasets)
+        return run_figure3(bench_protocol, datasets=bench_datasets, execution=bench_execution)
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    print("\n\nFigure 3: downstream test-accuracy curves (mean over seeds)")
+    print(f"\n\nEngine: {last_report()}")
+    print("\nFigure 3: downstream test-accuracy curves (mean over seeds)")
     for dataset, per_framework in outcome.results.items():
         print(f"\n  [{dataset}]")
         for result in per_framework.values():

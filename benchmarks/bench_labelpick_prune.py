@@ -1,0 +1,74 @@
+"""Micro-benchmark: vectorised LabelPick accuracy pruning.
+
+Verifies that the masked-numpy reduction in
+:meth:`repro.core.labelpick.LabelPick._accuracy_prune` produces exactly the
+survivors/pruned partition of the original per-column Python loop, and times
+the vectorised implementation on a paper-scale validation matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labelpick import LabelPick
+from repro.labeling.lf import ABSTAIN
+
+
+def _reference_accuracy_prune(valid_label_matrix, valid_labels, threshold):
+    """The original per-column loop, kept verbatim as the reference."""
+    valid_labels = np.asarray(valid_labels, dtype=int)
+    survivors, pruned = [], []
+    for j in range(valid_label_matrix.shape[1]):
+        outputs = valid_label_matrix[:, j]
+        fired = outputs != ABSTAIN
+        if not np.any(fired):
+            survivors.append(j)
+            continue
+        accuracy = float(np.mean(outputs[fired] == valid_labels[fired]))
+        if accuracy <= threshold:
+            pruned.append(j)
+        else:
+            survivors.append(j)
+    return survivors, pruned
+
+
+def _synthetic_matrix(n_valid: int, n_lfs: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, n_valid)
+    matrix = np.full((n_valid, n_lfs), ABSTAIN, dtype=int)
+    for j in range(n_lfs):
+        if j % 17 == 0:
+            continue  # a few never-firing LFs exercise the keep-silent rule
+        fire = rng.random(n_valid) < rng.uniform(0.05, 0.8)
+        correct = rng.random(n_valid) < rng.uniform(0.3, 0.95)
+        matrix[fire & correct, j] = labels[fire & correct]
+        matrix[fire & ~correct, j] = 1 - labels[fire & ~correct]
+    return matrix, labels
+
+
+def test_accuracy_prune_vectorized_matches_loop(benchmark):
+    """Vectorised pruning is equivalent to the loop and fast at paper scale."""
+    labelpick = LabelPick()
+    matrix, labels = _synthetic_matrix(n_valid=2500, n_lfs=300)
+    threshold = 0.5
+
+    survivors, pruned = benchmark.pedantic(
+        labelpick._accuracy_prune, args=(matrix, labels, threshold),
+        rounds=5, iterations=3, warmup_rounds=1,
+    )
+    ref_survivors, ref_pruned = _reference_accuracy_prune(matrix, labels, threshold)
+
+    assert survivors == ref_survivors
+    assert pruned == ref_pruned
+    assert sorted(survivors + pruned) == list(range(matrix.shape[1]))
+
+
+def test_accuracy_prune_matches_loop_across_thresholds():
+    """Boundary thresholds (<=) and never-firing columns agree with the loop."""
+    labelpick = LabelPick()
+    for seed in range(3):
+        matrix, labels = _synthetic_matrix(n_valid=180, n_lfs=40, seed=seed)
+        for threshold in (0.0, 0.25, 0.5, 2 / 3, 1.0):
+            assert labelpick._accuracy_prune(matrix, labels, threshold) == (
+                _reference_accuracy_prune(matrix, labels, threshold)
+            )

@@ -1,12 +1,19 @@
 """Benchmark EXP-T2: regenerate Table 2 (datasets used in the evaluation).
 
 Prints, for every benchmark dataset, the task, the paper's split sizes and
-the sizes of the synthetic stand-in generated at the benchmark scale.
+the sizes of the synthetic stand-in generated at the benchmark scale, and
+smoke-tests the experiment engine on the cheapest configured dataset: the
+parallel (``--workers N``) run must produce the exact ``average_accuracy``
+of the serial code path, and a warm-cache rerun must execute zero trials.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.experiments import table2_dataset_statistics
+from repro.experiments.protocol import run_framework_on_dataset
+from repro.runner import ExecutionConfig, last_report
 
 
 def test_table2_dataset_statistics(benchmark, bench_protocol, bench_datasets):
@@ -35,3 +42,39 @@ def test_table2_dataset_statistics(benchmark, bench_protocol, bench_datasets):
         # 80/10/10 split shape.
         total = row["n_train"] + row["n_valid"] + row["n_test"]
         assert row["n_train"] / total > 0.7
+
+
+def test_engine_parallel_matches_serial_with_warm_cache(
+    benchmark, bench_protocol, bench_execution, smallest_bench_dataset, tmp_path_factory
+):
+    """Parallel + cached grid execution is bit-equal to the serial code path."""
+    framework = "activedp"
+    cache_dir = bench_execution.cache_dir or tmp_path_factory.mktemp("trial-cache")
+    parallel = replace(
+        bench_execution, workers=max(bench_execution.workers, 2), cache_dir=cache_dir
+    )
+
+    def run():
+        return run_framework_on_dataset(
+            framework, smallest_bench_dataset, bench_protocol, execution=parallel
+        )
+
+    cold = benchmark.pedantic(run, rounds=1, iterations=1)
+    cold_report = last_report()
+    serial = run_framework_on_dataset(framework, smallest_bench_dataset, bench_protocol)
+    warm = run_framework_on_dataset(
+        framework, smallest_bench_dataset, bench_protocol, execution=parallel
+    )
+    warm_report = last_report()
+
+    print(f"\n\nEngine smoke on {smallest_bench_dataset!r} "
+          f"({parallel.workers} workers, cache at {cache_dir}):")
+    print(f"  cold run: {cold_report}; warm rerun: {warm_report}")
+    print(f"  average_accuracy serial={serial.average_accuracy:.6f} "
+          f"parallel={cold.average_accuracy:.6f} warm={warm.average_accuracy:.6f}")
+
+    assert cold.average_accuracy == serial.average_accuracy
+    assert warm.average_accuracy == serial.average_accuracy
+    if parallel.use_cache:
+        assert warm_report.n_executed == 0
+        assert warm_report.n_cached == warm_report.n_trials

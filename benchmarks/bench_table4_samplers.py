@@ -14,11 +14,11 @@ from repro.experiments import run_table4_samplers
 from repro.experiments.reporting import format_result_table
 
 
-def test_table4_sampler_study(benchmark, bench_protocol, bench_datasets):
+def test_table4_sampler_study(benchmark, bench_protocol, bench_datasets, bench_execution):
     """Run the sampler grid and print the Table 4 layout."""
 
     def run():
-        return run_table4_samplers(bench_protocol, datasets=bench_datasets)
+        return run_table4_samplers(bench_protocol, datasets=bench_datasets, execution=bench_execution)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 

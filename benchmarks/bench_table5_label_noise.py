@@ -14,11 +14,11 @@ from repro.experiments.noise import TABLE5_NOISE_RATES
 from repro.experiments.reporting import format_result_table
 
 
-def test_table5_label_noise_study(benchmark, bench_protocol, bench_datasets):
+def test_table5_label_noise_study(benchmark, bench_protocol, bench_datasets, bench_execution):
     """Run the noise grid and print the Table 5 layout."""
 
     def run():
-        return run_table5_label_noise(bench_protocol, datasets=bench_datasets)
+        return run_table5_label_noise(bench_protocol, datasets=bench_datasets, execution=bench_execution)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 

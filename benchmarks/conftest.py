@@ -9,6 +9,12 @@ paper-scale) protocols:
 * ``REPRO_BENCH_ITERATIONS``  labelling budget per run (default 20; paper 300)
 * ``REPRO_BENCH_SEEDS``       repetitions per configuration (default 1; paper 5)
 * ``REPRO_BENCH_DATASETS``    comma-separated dataset subset (default: all 8)
+
+Execution is routed through the experiment engine; the ``--workers``,
+``--cache-dir`` and ``--no-cache`` command-line options (registered in the
+root ``conftest.py``, with ``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_CACHE_DIR``
+/ ``REPRO_BENCH_NO_CACHE`` fallbacks) control parallelism and trial-result
+caching for every benchmark.
 """
 
 from __future__ import annotations
@@ -17,8 +23,9 @@ import os
 
 import pytest
 
-from repro.datasets import dataset_names
+from repro.datasets import DATASET_PROFILES, dataset_names
 from repro.experiments import EvaluationProtocol
+from repro.runner import ExecutionConfig
 
 
 def _env_float(name: str, default: float) -> float:
@@ -49,3 +56,24 @@ def bench_datasets() -> list[str]:
     if override:
         return [name.strip() for name in override.split(",") if name.strip()]
     return dataset_names()
+
+
+@pytest.fixture(scope="session")
+def bench_execution(request) -> ExecutionConfig:
+    """Engine execution configuration from CLI options / environment."""
+    workers = request.config.getoption("--workers")
+    if workers is None:
+        workers = _env_int("REPRO_BENCH_WORKERS", 1)
+    cache_dir = request.config.getoption("--cache-dir") or os.environ.get(
+        "REPRO_BENCH_CACHE_DIR"
+    )
+    no_cache = request.config.getoption("--no-cache") or bool(
+        int(os.environ.get("REPRO_BENCH_NO_CACHE", "0"))
+    )
+    return ExecutionConfig(workers=workers, cache_dir=cache_dir, use_cache=not no_cache)
+
+
+@pytest.fixture(scope="session")
+def smallest_bench_dataset(bench_datasets) -> str:
+    """The cheapest configured dataset (by synthetic corpus size)."""
+    return min(bench_datasets, key=lambda name: DATASET_PROFILES[name].default_size)

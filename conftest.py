@@ -1,0 +1,34 @@
+"""Root pytest configuration: experiment-engine command-line knobs.
+
+Registered at the repository root so they are available both for the tier-1
+test suite and for the benchmark suite (``pytest benchmarks/...``):
+
+* ``--workers N``   — process-pool size for experiment grids (0 = all cores);
+* ``--cache-dir D`` — content-addressed trial-result cache directory;
+* ``--no-cache``    — ignore ``--cache-dir`` / cached results.
+
+The benchmark fixtures in ``benchmarks/conftest.py`` translate these (and
+their ``REPRO_BENCH_*`` environment-variable fallbacks) into an
+:class:`repro.runner.ExecutionConfig`.
+"""
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro-engine", "experiment execution engine")
+    group.addoption(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for experiment grids (0 = all cores, default serial)",
+    )
+    group.addoption(
+        "--cache-dir",
+        default=None,
+        help="content-addressed trial-result cache directory (default: no cache)",
+    )
+    group.addoption(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="disable the trial-result cache even if --cache-dir is set",
+    )

@@ -68,10 +68,11 @@ class ActiveDPPipeline(InteractivePipeline):
                 random_state=user_seed,
             )
 
-    def step(self) -> None:
-        """Run one ActiveDP training iteration."""
-        self.framework.step(self.user)
+    def step(self):
+        """Run one ActiveDP training iteration; returns its real record."""
+        record = self.framework.step(self.user)
         self.iteration += 1
+        return record
 
     def generate_labels(self) -> tuple[np.ndarray, np.ndarray]:
         """ConFusion-aggregated training labels (indices, hard labels)."""

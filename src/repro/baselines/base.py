@@ -13,6 +13,7 @@ import abc
 
 import numpy as np
 
+from repro.core.results import IterationRecord
 from repro.datasets.base import DataSplit
 from repro.models.logistic_regression import LogisticRegression
 from repro.models.metrics import accuracy_score
@@ -40,8 +41,14 @@ class InteractivePipeline(abc.ABC):
 
     # ------------------------------------------------------------- interface
     @abc.abstractmethod
-    def step(self) -> None:
-        """Consume one simulated-user interaction (one unit of labelling budget)."""
+    def step(self) -> IterationRecord | None:
+        """Consume one simulated-user interaction (one unit of labelling budget).
+
+        Pipelines that introspect their iteration return an
+        :class:`~repro.core.results.IterationRecord` (query index, LF name,
+        pseudo-label, ...) which the evaluation protocol propagates into the
+        run history; returning ``None`` makes the harness record a bare row.
+        """
 
     @abc.abstractmethod
     def generate_labels(self) -> tuple[np.ndarray, np.ndarray]:

@@ -20,6 +20,7 @@ import numpy as np
 from repro.active_learning.base import QueryContext
 from repro.active_learning.seu import SEUSampler
 from repro.baselines.base import InteractivePipeline
+from repro.core.results import IterationRecord
 from repro.datasets.base import DataSplit
 from repro.labeling.label_matrix import apply_lfs
 from repro.labeling.lf import ABSTAIN, LabelFunction
@@ -64,7 +65,7 @@ class NemoPipeline(InteractivePipeline):
         self._train_matrix = np.empty((len(data_split.train), 0), dtype=int)
         self._lm_proba: np.ndarray | None = None
 
-    def step(self) -> None:
+    def step(self):
         """Select a query with SEU, collect an LF and retrain the label model."""
         candidates = np.setdiff1d(
             np.arange(len(self.data.train)), np.asarray(self.queried, dtype=int)
@@ -89,7 +90,14 @@ class NemoPipeline(InteractivePipeline):
             column = lf.apply(self.data.train).reshape(-1, 1)
             self._train_matrix = np.hstack([self._train_matrix, column])
             self._retrain()
+        record = IterationRecord(
+            iteration=self.iteration,
+            query_index=int(query),
+            lf_name=lf.name if lf is not None else None,
+            n_lfs=len(self.lfs),
+        )
         self.iteration += 1
+        return record
 
     def generate_labels(self) -> tuple[np.ndarray, np.ndarray]:
         """Label-model hard labels on the LF-covered training instances."""

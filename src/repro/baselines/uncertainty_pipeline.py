@@ -13,6 +13,7 @@ import numpy as np
 from repro.active_learning.base import QueryContext
 from repro.active_learning.uncertainty import UncertaintySampler
 from repro.baselines.base import InteractivePipeline
+from repro.core.results import IterationRecord
 from repro.datasets.base import DataSplit
 from repro.models.logistic_regression import LogisticRegression
 from repro.simulation.oracle import Oracle
@@ -47,7 +48,7 @@ class UncertaintySamplingPipeline(InteractivePipeline):
         self.labels: list[int] = []
         self._proba: np.ndarray | None = None
 
-    def step(self) -> None:
+    def step(self):
         """Query the most uncertain instance and record its oracle label."""
         candidates = np.setdiff1d(
             np.arange(len(self.data.train)), np.asarray(self.labeled_indices, dtype=int)
@@ -67,7 +68,11 @@ class UncertaintySamplingPipeline(InteractivePipeline):
         self.labeled_indices.append(query)
         self.labels.append(self.oracle.label(query))
         self._retrain()
+        record = IterationRecord(
+            iteration=self.iteration, query_index=int(query), pseudo_label=self.labels[-1]
+        )
         self.iteration += 1
+        return record
 
     def generate_labels(self) -> tuple[np.ndarray, np.ndarray]:
         """The manually labelled subset."""

@@ -15,10 +15,12 @@ from repro.core.confusion import AggregatedLabels, ConFusion
 from repro.core.labelpick import LabelPick, LabelPickResult
 from repro.core.pseudo_labels import PseudoLabeledSet
 from repro.core.results import IterationRecord, RunHistory
+from repro.core.state import TrainingState
 from repro.core.framework import ActiveDP
 
 __all__ = [
     "ActiveDP",
+    "TrainingState",
     "ActiveDPConfig",
     "ADPSampler",
     "ConFusion",

@@ -14,6 +14,11 @@ Inference phase (:meth:`ActiveDP.aggregate_labels`): ConFusion tunes a
 confidence threshold on the validation set and combines the two models'
 predictions into training labels with high accuracy and coverage, which are
 then used to train the downstream model.
+
+All mutable run state lives in a :class:`~repro.core.state.TrainingState`
+(label matrices grown incrementally, model caches guarded by dirty flags),
+so a run can be snapshotted/resumed and :meth:`refit` only re-runs the
+stages whose inputs actually changed since the previous refit.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from repro.core.confusion import AggregatedLabels, ConFusion
 from repro.core.labelpick import LabelPick, LabelPickResult
 from repro.core.pseudo_labels import PseudoLabeledSet
 from repro.core.results import IterationRecord
-from repro.labeling.label_matrix import apply_lfs
+from repro.core.state import TrainingState
 from repro.labeling.lf import ABSTAIN, LabelFunction
 from repro.label_models import get_label_model
 from repro.models.logistic_regression import LogisticRegression
@@ -61,7 +66,6 @@ class ActiveDP:
         self.train = train
         self.valid = valid
         self.config = config or ActiveDPConfig()
-        self.rng = ensure_rng(random_state)
         self.n_classes = train.n_classes
 
         self.sampler = self._build_sampler(self.config)
@@ -72,21 +76,95 @@ class ActiveDP:
         )
         self.confusion = ConFusion()
 
-        # Mutable run state -------------------------------------------------
-        self.lfs: list[LabelFunction] = []
-        self.pseudo = PseudoLabeledSet()
-        self.queried: list[int] = []
-        self._train_matrix = np.empty((len(train), 0), dtype=int)
-        self._valid_matrix = np.empty((len(valid), 0), dtype=int)
-        self.selection = LabelPickResult(selected_indices=[])
-        self.label_model = None
-        self.al_model: LogisticRegression | None = None
-        self.threshold: float | None = None
-        self._lm_proba_train: np.ndarray | None = None
-        self._lm_proba_valid: np.ndarray | None = None
-        self._al_proba_train: np.ndarray | None = None
-        self._al_proba_valid: np.ndarray | None = None
-        self.iteration = 0
+        self.state = TrainingState.initial(train, valid, ensure_rng(random_state))
+
+    # ----------------------------------------------------- state accessors
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.state.rng
+
+    # Thin pass-throughs so existing callers (and tests) keep reading the
+    # run state through the framework object.
+    @property
+    def lfs(self) -> list[LabelFunction]:
+        return self.state.lfs
+
+    @property
+    def pseudo(self) -> PseudoLabeledSet:
+        return self.state.pseudo
+
+    @property
+    def queried(self) -> list[int]:
+        return self.state.queried
+
+    @queried.setter
+    def queried(self, value: list[int]) -> None:
+        self.state.queried = list(value)
+
+    @property
+    def selection(self) -> LabelPickResult:
+        return self.state.selection
+
+    @selection.setter
+    def selection(self, value: LabelPickResult) -> None:
+        self.state.selection = value
+
+    @property
+    def label_model(self):
+        return self.state.label_model
+
+    @property
+    def al_model(self):
+        return self.state.al_model
+
+    @property
+    def threshold(self) -> float | None:
+        return self.state.threshold
+
+    @property
+    def iteration(self) -> int:
+        return self.state.iteration
+
+    @iteration.setter
+    def iteration(self, value: int) -> None:
+        self.state.iteration = int(value)
+
+    @property
+    def _train_matrix(self) -> np.ndarray:
+        return self.state.train_matrix.matrix
+
+    @property
+    def _valid_matrix(self) -> np.ndarray:
+        return self.state.valid_matrix.matrix
+
+    @property
+    def _lm_proba_train(self) -> np.ndarray | None:
+        return self.state.lm_proba_train
+
+    @property
+    def _lm_proba_valid(self) -> np.ndarray | None:
+        return self.state.lm_proba_valid
+
+    @property
+    def _al_proba_train(self) -> np.ndarray | None:
+        return self.state.al_proba_train
+
+    @property
+    def _al_proba_valid(self) -> np.ndarray | None:
+        return self.state.al_proba_valid
+
+    # ------------------------------------------------------ snapshot/resume
+    def snapshot(self) -> TrainingState:
+        """Deep copy of the run state, suitable for forking or persisting."""
+        return self.state.snapshot()
+
+    def restore(self, state: TrainingState, copy: bool = True) -> None:
+        """Resume from a previously captured :meth:`snapshot`.
+
+        With ``copy=True`` (default) the framework works on its own copy so
+        the caller's snapshot stays pristine.
+        """
+        self.state = state.snapshot() if copy else state
 
     # ------------------------------------------------------------- training
     def step(self, user) -> IterationRecord:
@@ -95,31 +173,31 @@ class ActiveDP:
         The user object must expose ``design_lf(query_index)`` returning a
         :class:`~repro.labeling.LabelFunction` or ``None``.
         """
+        state = self.state
         query_index = self.select_query()
-        self.queried.append(query_index)
+        state.queried.append(query_index)
 
         lf = user.design_lf(query_index)
         pseudo_label = ABSTAIN
-        if lf is not None and lf not in self.lfs:
-            self.add_lf(lf, query_index)
-            pseudo_label = self.pseudo.labels[-1] if len(self.pseudo) else ABSTAIN
+        if lf is not None and lf not in state.lfs:
+            pseudo_label = self.add_lf(lf, query_index)
         elif lf is not None:
             # Duplicate LF: still record the pseudo-label for the query.
-            pseudo_label = self.pseudo.add(query_index, lf, self.train)
+            pseudo_label = self._record_pseudo_label(lf, query_index)
 
-        if self.iteration % self.config.retrain_every == 0:
+        if state.iteration % self.config.retrain_every == 0:
             self.refit()
 
         record = IterationRecord(
-            iteration=self.iteration,
+            iteration=state.iteration,
             query_index=query_index,
             lf_name=lf.name if lf is not None else None,
             pseudo_label=int(pseudo_label),
-            n_lfs=len(self.lfs),
-            n_selected_lfs=len(self.selection.selected_indices),
-            threshold=self.threshold,
+            n_lfs=len(state.lfs),
+            n_selected_lfs=len(state.selection.selected_indices),
+            threshold=state.threshold,
         )
-        self.iteration += 1
+        state.iteration += 1
         return record
 
     def run(self, user, n_iterations: int) -> list[IterationRecord]:
@@ -130,37 +208,74 @@ class ActiveDP:
 
     def select_query(self) -> int:
         """Use the configured sampler to pick the next query instance."""
-        candidates = np.setdiff1d(np.arange(len(self.train)), np.asarray(self.queried, dtype=int))
+        state = self.state
+        candidates = np.setdiff1d(
+            np.arange(len(self.train)), np.asarray(state.queried, dtype=int)
+        )
         if candidates.size == 0:
             raise RuntimeError("the entire training pool has already been queried")
         context = QueryContext(
             dataset=self.train,
             candidates=candidates,
-            al_proba=self._al_proba_train,
-            lm_proba=self._lm_proba_train,
-            queried_indices=np.asarray(self.queried, dtype=int),
+            al_proba=state.al_proba_train,
+            lm_proba=state.lm_proba_train,
+            queried_indices=np.asarray(state.queried, dtype=int),
             queried_labels=self._queried_pseudo_labels(),
-            iteration=self.iteration,
+            iteration=state.iteration,
             rng=self.rng,
         )
         return self.sampler.select(context)
 
-    def add_lf(self, lf: LabelFunction, query_index: int | None = None) -> None:
-        """Add a user-returned LF to ``Lambda_t`` (and record its pseudo-label)."""
-        self.lfs.append(lf)
-        train_column = lf.apply(self.train).reshape(-1, 1)
-        valid_column = lf.apply(self.valid).reshape(-1, 1)
-        self._train_matrix = np.hstack([self._train_matrix, train_column])
-        self._valid_matrix = np.hstack([self._valid_matrix, valid_column])
-        if query_index is not None:
-            self.pseudo.add(query_index, lf, self.train)
+    def add_lf(self, lf: LabelFunction, query_index: int | None = None) -> int:
+        """Add a user-returned LF to ``Lambda_t`` (and record its pseudo-label).
 
-    def refit(self) -> None:
-        """Re-run LabelPick, retrain the label model and the AL model."""
-        self._run_labelpick()
-        self._fit_label_model()
-        self._fit_al_model()
-        self._tune_threshold()
+        Returns the pseudo-label recorded for *query_index* (:data:`ABSTAIN`
+        when no query index is given or the LF abstains on its own query
+        instance).
+        """
+        state = self.state
+        state.lfs.append(lf)
+        train_column = state.train_matrix.append(lf)
+        state.valid_matrix.append(lf)
+        state.mark_lf_added()
+        if query_index is None:
+            return ABSTAIN
+        return self._record_pseudo_label(lf, query_index, column=train_column)
+
+    def refit(self, force: bool = False) -> None:
+        """Re-run LabelPick and retrain whichever models have stale inputs.
+
+        The dirty flags on :class:`TrainingState` track whether the LF set or
+        the pseudo-labelled set changed since the last refit; stages whose
+        inputs are unchanged keep their (deterministic) fitted models and
+        cached predictions.  ``force=True`` reruns every stage regardless.
+        """
+        state = self.state
+        lfs_dirty = force or state.lfs_dirty
+        pseudo_dirty = force or state.pseudo_dirty
+
+        selection_changed = False
+        if lfs_dirty or pseudo_dirty:
+            previous = list(state.selection.selected_indices)
+            self._run_labelpick()
+            selection_changed = previous != list(state.selection.selected_indices)
+
+        # Columns are append-only, so an unchanged selection means the label
+        # model's input matrix is bit-identical and the fit can be skipped.
+        lm_changed = False
+        if force or selection_changed:
+            self._fit_label_model()
+            lm_changed = True
+
+        al_changed = False
+        if pseudo_dirty:
+            self._fit_al_model()
+            al_changed = True
+
+        if lm_changed or al_changed:
+            self._tune_threshold()
+
+        state.clear_dirty()
 
     # ------------------------------------------------------------ inference
     def aggregate_labels(self) -> AggregatedLabels:
@@ -170,9 +285,10 @@ class ActiveDP:
         label-model-only labels (``use_confusion=False``) or AL-model-only
         labels (no LFs collected yet).
         """
+        state = self.state
         n_train = len(self.train)
-        lm_proba = self._lm_proba_train
-        al_proba = self._al_proba_train
+        lm_proba = state.lm_proba_train
+        al_proba = state.al_proba_train
         lm_covered = self._lm_covered(self._train_matrix)
 
         if lm_proba is None and al_proba is None:
@@ -199,7 +315,7 @@ class ActiveDP:
         if lm_proba is None:
             lm_proba = np.full((n_train, self.n_classes), 1.0 / self.n_classes)
 
-        threshold = self.threshold if self.threshold is not None else 1.0
+        threshold = state.threshold if state.threshold is not None else 1.0
         return self.confusion.aggregate(al_proba, lm_proba, lm_covered, threshold)
 
     def generate_labels(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -241,7 +357,7 @@ class ActiveDP:
     @property
     def selected_lfs(self) -> list[LabelFunction]:
         """The LF subset currently selected by LabelPick."""
-        return self.selection.select(self.lfs)
+        return self.state.selection.select(self.state.lfs)
 
     # ------------------------------------------------------------- internals
     def _build_sampler(self, config: ActiveDPConfig) -> BaseSampler:
@@ -253,70 +369,89 @@ class ActiveDP:
             kwargs["alpha"] = config.alpha
         return get_sampler(name, **kwargs)
 
+    def _record_pseudo_label(self, lf: LabelFunction, query_index: int, column=None) -> int:
+        """Record ``lf``'s output on *query_index* as a pseudo-label."""
+        state = self.state
+        if column is None:
+            column = state.train_matrix.apply(lf)
+        pseudo_label = state.pseudo.add(
+            query_index, lf, self.train, output=int(column[query_index])
+        )
+        if pseudo_label != ABSTAIN:
+            state.mark_pseudo_added()
+        return pseudo_label
+
     def _queried_pseudo_labels(self) -> np.ndarray:
         """Pseudo-labels aligned with the query order (ABSTAIN when none recorded)."""
-        mapping = dict(zip(self.pseudo.indices.tolist(), self.pseudo.labels.tolist()))
-        return np.array([mapping.get(idx, ABSTAIN) for idx in self.queried], dtype=int)
+        state = self.state
+        mapping = dict(zip(state.pseudo.indices.tolist(), state.pseudo.labels.tolist()))
+        return np.array([mapping.get(idx, ABSTAIN) for idx in state.queried], dtype=int)
 
     def _run_labelpick(self) -> None:
-        if not self.lfs:
-            self.selection = LabelPickResult(selected_indices=[])
+        state = self.state
+        if not state.lfs:
+            state.selection = LabelPickResult(selected_indices=[])
             return
         if not self.config.use_labelpick:
-            self.selection = LabelPickResult(selected_indices=list(range(len(self.lfs))))
+            state.selection = LabelPickResult(selected_indices=list(range(len(state.lfs))))
             return
         query_matrix = (
-            self._train_matrix[self.pseudo.indices]
-            if len(self.pseudo)
-            else np.empty((0, len(self.lfs)), dtype=int)
+            state.train_matrix.rows(state.pseudo.indices)
+            if len(state.pseudo)
+            else np.empty((0, len(state.lfs)), dtype=int)
         )
-        self.selection = self.labelpick.select(
-            self.lfs,
+        state.selection = self.labelpick.select(
+            state.lfs,
             self._valid_matrix,
             self.valid.labels,
             query_matrix,
-            self.pseudo.labels,
+            state.pseudo.labels,
             self.n_classes,
         )
 
     def _fit_label_model(self) -> None:
-        selected = self.selection.selected_indices
+        state = self.state
+        selected = state.selection.selected_indices
         if not selected:
-            self.label_model = None
-            self._lm_proba_train = None
-            self._lm_proba_valid = None
+            state.label_model = None
+            state.lm_proba_train = None
+            state.lm_proba_valid = None
             return
-        train_matrix = self._train_matrix[:, selected]
-        self.label_model = get_label_model(self.config.label_model, n_classes=self.n_classes)
-        self.label_model.fit(train_matrix)
-        self._lm_proba_train = self.label_model.predict_proba(train_matrix)
-        self._lm_proba_valid = self.label_model.predict_proba(self._valid_matrix[:, selected])
+        train_matrix = state.train_matrix.columns(selected)
+        state.label_model = get_label_model(self.config.label_model, n_classes=self.n_classes)
+        state.label_model.fit(train_matrix)
+        state.lm_proba_train = state.label_model.predict_proba(train_matrix)
+        state.lm_proba_valid = state.label_model.predict_proba(
+            state.valid_matrix.columns(selected)
+        )
 
     def _fit_al_model(self) -> None:
-        if len(self.pseudo) < 2 or self.pseudo.n_classes_observed() < 2:
-            self.al_model = None
-            self._al_proba_train = None
-            self._al_proba_valid = None
+        state = self.state
+        if len(state.pseudo) < 2 or state.pseudo.n_classes_observed() < 2:
+            state.al_model = None
+            state.al_proba_train = None
+            state.al_proba_valid = None
             return
-        self.al_model = LogisticRegression(
+        state.al_model = LogisticRegression(
             C=self.config.al_model_C, n_classes=self.n_classes
         )
-        self.al_model.fit(self.pseudo.features(self.train), self.pseudo.labels)
-        self._al_proba_train = self.al_model.predict_proba(self.train.features)
-        self._al_proba_valid = self.al_model.predict_proba(self.valid.features)
+        state.al_model.fit(state.pseudo.features(self.train), state.pseudo.labels)
+        state.al_proba_train = state.al_model.predict_proba(self.train.features)
+        state.al_proba_valid = state.al_model.predict_proba(self.valid.features)
 
     def _tune_threshold(self) -> None:
-        if not self.config.use_confusion or self._al_proba_valid is None:
-            self.threshold = None
+        state = self.state
+        if not self.config.use_confusion or state.al_proba_valid is None:
+            state.threshold = None
             return
-        lm_proba_valid = self._lm_proba_valid
+        lm_proba_valid = state.lm_proba_valid
         if lm_proba_valid is None:
             lm_proba_valid = np.full(
                 (len(self.valid), self.n_classes), 1.0 / self.n_classes
             )
         lm_covered_valid = self._lm_covered(self._valid_matrix, selected_only=True)
-        self.threshold = self.confusion.tune_threshold(
-            self._al_proba_valid,
+        state.threshold = self.confusion.tune_threshold(
+            state.al_proba_valid,
             lm_proba_valid,
             lm_covered_valid,
             self.valid.labels,
@@ -326,8 +461,9 @@ class ActiveDP:
         """Mask of instances with at least one activated *selected* LF."""
         if matrix.shape[1] == 0:
             return np.zeros(matrix.shape[0], dtype=bool)
-        if selected_only and self.selection.selected_indices:
-            matrix = matrix[:, self.selection.selected_indices]
-        elif selected_only and not self.selection.selected_indices:
+        selected = self.state.selection.selected_indices
+        if selected_only and selected:
+            matrix = matrix[:, selected]
+        elif selected_only and not selected:
             return np.zeros(matrix.shape[0], dtype=bool)
         return np.any(matrix != ABSTAIN, axis=1)

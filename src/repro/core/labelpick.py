@@ -160,23 +160,21 @@ class LabelPick:
         valid_labels: np.ndarray,
         threshold: float,
     ) -> tuple[list[int], list[int]]:
-        """Drop LFs whose validation accuracy is at or below *threshold*."""
+        """Drop LFs whose validation accuracy is at or below *threshold*.
+
+        Fully vectorised: one masked reduction over the ``(n_valid, n_lfs)``
+        matrix instead of a Python loop over columns.
+        """
         valid_labels = np.asarray(valid_labels, dtype=int)
-        survivors, pruned = [], []
-        for j in range(valid_label_matrix.shape[1]):
-            outputs = valid_label_matrix[:, j]
-            fired = outputs != ABSTAIN
-            if not np.any(fired):
-                # An LF that never fires on the validation set provides no
-                # evidence either way; keep it (the structure step can still
-                # drop it).
-                survivors.append(j)
-                continue
-            accuracy = float(np.mean(outputs[fired] == valid_labels[fired]))
-            if accuracy <= threshold:
-                pruned.append(j)
-            else:
-                survivors.append(j)
+        fired = valid_label_matrix != ABSTAIN
+        n_fired = fired.sum(axis=0)
+        n_correct = (fired & (valid_label_matrix == valid_labels[:, None])).sum(axis=0)
+        accuracy = n_correct / np.maximum(n_fired, 1)
+        # An LF that never fires on the validation set provides no evidence
+        # either way; keep it (the structure step can still drop it).
+        pruned_mask = (n_fired > 0) & (accuracy <= threshold)
+        survivors = np.flatnonzero(~pruned_mask).tolist()
+        pruned = np.flatnonzero(pruned_mask).tolist()
         return survivors, pruned
 
     def _markov_blanket_select(

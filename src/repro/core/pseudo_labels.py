@@ -25,15 +25,21 @@ class PseudoLabeledSet:
     def __len__(self) -> int:
         return len(self._indices)
 
-    def add(self, query_index: int, lf: LabelFunction, dataset) -> int:
+    def add(self, query_index: int, lf: LabelFunction, dataset, output: int | None = None) -> int:
         """Record the pseudo-label ``lf(x_query)`` for *query_index*.
 
         Returns the pseudo-label (or :data:`ABSTAIN` when the LF abstains on
         its own query instance, in which case nothing is recorded — this can
         only happen with user-written LFs, never with the simulated user).
+
+        *output* short-circuits the LF application when the caller already
+        holds ``lf``'s output on the query instance (e.g. from a cached label
+        matrix column).
         """
-        outputs = lf.apply(dataset.subset(np.array([query_index])))
-        pseudo_label = int(outputs[0])
+        if output is None:
+            outputs = lf.apply(dataset.subset(np.array([query_index])))
+            output = int(outputs[0])
+        pseudo_label = int(output)
         if pseudo_label == ABSTAIN:
             return ABSTAIN
         self._indices.append(int(query_index))

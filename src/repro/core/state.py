@@ -1,0 +1,112 @@
+"""Explicit mutable run state of an :class:`~repro.core.framework.ActiveDP` run.
+
+Separating the immutable trial description (dataset, config, seed) from the
+mutable hot-loop state gives the framework three capabilities the original
+attribute soup could not offer:
+
+* **Snapshot/resume** — :meth:`TrainingState.snapshot` deep-copies the state
+  (sharing immutable datasets and cached LF outputs) so a trial can be forked
+  or resumed;
+* **Incremental refit** — the ``lfs_dirty`` / ``pseudo_dirty`` flags record
+  which inputs actually changed since the last refit, so the framework only
+  re-runs LabelPick, the label model, the AL model and threshold tuning when
+  their inputs moved;
+* **Amortised label matrices** — the train/valid matrices are
+  :class:`~repro.labeling.incremental.IncrementalLabelMatrix` column stores
+  instead of per-iteration ``np.hstack`` rebuilds.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.labelpick import LabelPickResult
+from repro.core.pseudo_labels import PseudoLabeledSet
+from repro.labeling.incremental import IncrementalLabelMatrix
+from repro.labeling.lf import LabelFunction
+
+
+@dataclass
+class TrainingState:
+    """Everything an ActiveDP run mutates between iterations.
+
+    Attributes
+    ----------
+    train_matrix, valid_matrix:
+        Incrementally grown label matrices on the train/valid splits.
+    lfs:
+        The collected LF set ``Lambda_t`` (column order of the matrices).
+    pseudo:
+        Pseudo-labelled query instances.
+    queried:
+        Pool indices queried so far, in order.
+    selection:
+        LabelPick's current LF subset.
+    label_model, al_model:
+        The fitted models (``None`` until first successful fit).
+    threshold:
+        ConFusion confidence threshold (``None`` before the AL model exists).
+    lm_proba_train, lm_proba_valid, al_proba_train, al_proba_valid:
+        Cached model predictions, invalidated by refits only.
+    iteration:
+        Number of completed iterations.
+    rng:
+        The sampler's tie-breaking generator.  Part of the state so a
+        snapshot resumes with the exact random stream (the samplers
+        themselves are stateless).
+    lfs_dirty:
+        An LF column was appended since the last refit.
+    pseudo_dirty:
+        A pseudo-label was recorded since the last refit.
+    """
+
+    train_matrix: IncrementalLabelMatrix
+    valid_matrix: IncrementalLabelMatrix
+    lfs: list[LabelFunction] = field(default_factory=list)
+    pseudo: PseudoLabeledSet = field(default_factory=PseudoLabeledSet)
+    queried: list[int] = field(default_factory=list)
+    selection: LabelPickResult = field(
+        default_factory=lambda: LabelPickResult(selected_indices=[])
+    )
+    label_model: object | None = None
+    al_model: object | None = None
+    threshold: float | None = None
+    lm_proba_train: np.ndarray | None = None
+    lm_proba_valid: np.ndarray | None = None
+    al_proba_train: np.ndarray | None = None
+    al_proba_valid: np.ndarray | None = None
+    iteration: int = 0
+    rng: np.random.Generator | None = None
+    lfs_dirty: bool = True
+    pseudo_dirty: bool = True
+
+    @classmethod
+    def initial(cls, train, valid, rng: np.random.Generator | None = None) -> "TrainingState":
+        """Fresh state for a run over the given train/valid splits."""
+        return cls(
+            train_matrix=IncrementalLabelMatrix(train),
+            valid_matrix=IncrementalLabelMatrix(valid),
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------ dirty flags
+    def mark_lf_added(self) -> None:
+        """Record that a new LF column exists since the last refit."""
+        self.lfs_dirty = True
+
+    def mark_pseudo_added(self) -> None:
+        """Record that a new pseudo-label exists since the last refit."""
+        self.pseudo_dirty = True
+
+    def clear_dirty(self) -> None:
+        """Mark the fitted models as consistent with the current inputs."""
+        self.lfs_dirty = False
+        self.pseudo_dirty = False
+
+    # ---------------------------------------------------------------- persist
+    def snapshot(self) -> "TrainingState":
+        """Deep copy of the state (datasets and cached LF outputs are shared)."""
+        return copy.deepcopy(self)

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from repro.core.config import ActiveDPConfig
 from repro.datasets import DATASET_PROFILES, dataset_names
-from repro.experiments.protocol import EvaluationProtocol, FrameworkResult, run_framework_on_dataset
+from repro.experiments.protocol import EvaluationProtocol, FrameworkResult
+from repro.runner.engine import ExecutionConfig, GridJob, nest_results, run_experiment_grid
 
 ABLATION_VARIANTS: dict[str, dict[str, bool]] = {
     "Baseline": {"use_labelpick": False, "use_confusion": False},
@@ -27,20 +28,25 @@ def run_table3_ablation(
     protocol: EvaluationProtocol | None = None,
     datasets: list[str] | None = None,
     variants: list[str] | None = None,
+    execution: ExecutionConfig | None = None,
 ) -> dict[str, dict[str, FrameworkResult]]:
     """Run the ablation study; returns ``variant -> dataset -> FrameworkResult``."""
     protocol = protocol or EvaluationProtocol()
     datasets = datasets or dataset_names()
     variants = variants or list(ABLATION_VARIANTS)
 
-    results: dict[str, dict[str, FrameworkResult]] = {}
-    for variant in variants:
-        switches = ABLATION_VARIANTS[variant]
-        results[variant] = {}
-        for dataset in datasets:
-            kind = DATASET_PROFILES[dataset].kind
-            config = ActiveDPConfig.for_dataset_kind(kind, **switches)
-            results[variant][dataset] = run_framework_on_dataset(
-                "activedp", dataset, protocol, pipeline_kwargs={"config": config}
-            )
-    return results
+    jobs = [
+        GridJob(
+            key=(variant, dataset),
+            framework="activedp",
+            dataset=dataset,
+            pipeline_kwargs={
+                "config": ActiveDPConfig.for_dataset_kind(
+                    DATASET_PROFILES[dataset].kind, **ABLATION_VARIANTS[variant]
+                )
+            },
+        )
+        for variant in variants
+        for dataset in datasets
+    ]
+    return nest_results(run_experiment_grid(jobs, protocol, execution))

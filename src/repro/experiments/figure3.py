@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.datasets import DATASET_PROFILES, dataset_names
-from repro.experiments.protocol import EvaluationProtocol, FrameworkResult, run_framework_on_dataset
+from repro.experiments.protocol import EvaluationProtocol, FrameworkResult
+from repro.runner.engine import ExecutionConfig, GridJob, nest_results, run_experiment_grid
 
 FIGURE3_FRAMEWORKS = ["activedp", "nemo", "iws", "revising_lf", "uncertainty"]
 
@@ -59,6 +60,7 @@ def run_figure3(
     protocol: EvaluationProtocol | None = None,
     datasets: list[str] | None = None,
     frameworks: list[str] | None = None,
+    execution: ExecutionConfig | None = None,
 ) -> Figure3Result:
     """Run the Figure 3 end-to-end comparison and return all results.
 
@@ -70,19 +72,23 @@ def run_figure3(
         Dataset subset (defaults to all eight of Table 2).
     frameworks:
         Framework subset (defaults to the five of Figure 3).
+    execution:
+        Parallelism/caching configuration for the experiment engine.
     """
     protocol = protocol or EvaluationProtocol()
     datasets = datasets or dataset_names()
     frameworks = frameworks or list(FIGURE3_FRAMEWORKS)
 
+    jobs = [
+        GridJob(key=(dataset, framework), framework=framework, dataset=dataset)
+        for dataset in datasets
+        for framework in frameworks
+        if not (framework == "nemo" and DATASET_PROFILES[dataset].kind == "tabular")
+    ]
     outcome = Figure3Result(protocol=protocol)
     for dataset in datasets:
-        kind = DATASET_PROFILES[dataset].kind
         outcome.results[dataset] = {}
-        for framework in frameworks:
-            if framework == "nemo" and kind == "tabular":
-                continue
-            outcome.results[dataset][framework] = run_framework_on_dataset(
-                framework, dataset, protocol
-            )
+    nested = nest_results(run_experiment_grid(jobs, protocol, execution))
+    for dataset, per_framework in nested.items():
+        outcome.results[dataset].update(per_framework)
     return outcome

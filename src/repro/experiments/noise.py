@@ -8,7 +8,8 @@ of 0 %, 5 %, 10 % and 15 % are compared.
 from __future__ import annotations
 
 from repro.datasets import dataset_names
-from repro.experiments.protocol import EvaluationProtocol, FrameworkResult, run_framework_on_dataset
+from repro.experiments.protocol import EvaluationProtocol, FrameworkResult
+from repro.runner.engine import ExecutionConfig, GridJob, nest_results, run_experiment_grid
 
 TABLE5_NOISE_RATES: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15)
 
@@ -17,19 +18,20 @@ def run_table5_label_noise(
     protocol: EvaluationProtocol | None = None,
     datasets: list[str] | None = None,
     noise_rates: tuple[float, ...] = TABLE5_NOISE_RATES,
+    execution: ExecutionConfig | None = None,
 ) -> dict[float, dict[str, FrameworkResult]]:
     """Run the label-noise study; returns ``noise_rate -> dataset -> FrameworkResult``."""
     protocol = protocol or EvaluationProtocol()
     datasets = datasets or dataset_names()
 
-    results: dict[float, dict[str, FrameworkResult]] = {}
-    for noise_rate in noise_rates:
-        results[noise_rate] = {}
-        for dataset in datasets:
-            results[noise_rate][dataset] = run_framework_on_dataset(
-                "activedp",
-                dataset,
-                protocol,
-                pipeline_kwargs={"noise_rate": noise_rate},
-            )
-    return results
+    jobs = [
+        GridJob(
+            key=(noise_rate, dataset),
+            framework="activedp",
+            dataset=dataset,
+            pipeline_kwargs={"noise_rate": noise_rate},
+        )
+        for noise_rate in noise_rates
+        for dataset in datasets
+    ]
+    return nest_results(run_experiment_grid(jobs, protocol, execution))

@@ -19,10 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines import get_pipeline
-from repro.core.results import IterationRecord, RunHistory
-from repro.datasets import load_dataset
-from repro.utils.rng import spawn_seeds
+from repro.core.results import RunHistory
 
 
 @dataclass
@@ -106,20 +103,14 @@ def run_single_seed(
     seed: int,
     pipeline_kwargs: dict | None = None,
 ) -> RunHistory:
-    """Run one framework on one already-generated dataset split with one seed."""
-    pipeline = get_pipeline(framework, data_split, random_state=seed, **(pipeline_kwargs or {}))
-    history = RunHistory(framework=framework, dataset=data_split.name, seed=seed)
-    eval_points = set(protocol.evaluation_iterations())
-    for iteration in range(1, protocol.n_iterations + 1):
-        pipeline.step()
-        record = IterationRecord(iteration=iteration, query_index=-1)
-        if iteration in eval_points:
-            record.test_accuracy = pipeline.evaluate_end_model(C=protocol.end_model_C)
-            quality = pipeline.label_quality()
-            record.label_coverage = quality["coverage"]
-            record.label_accuracy = quality["accuracy"]
-        history.add(record)
-    return history
+    """Run one framework on one already-generated dataset split with one seed.
+
+    Delegates to the engine's trial loop so the pipeline's real per-iteration
+    records (query index, LF name, pseudo-label, ...) land in the history.
+    """
+    from repro.runner.executor import run_trial_on_split
+
+    return run_trial_on_split(framework, data_split, protocol, seed, pipeline_kwargs)
 
 
 def run_framework_on_dataset(
@@ -127,17 +118,22 @@ def run_framework_on_dataset(
     dataset_name: str,
     protocol: EvaluationProtocol | None = None,
     pipeline_kwargs: dict | None = None,
+    execution=None,
 ) -> FrameworkResult:
-    """Run one framework on one benchmark dataset across the protocol's seeds."""
+    """Run one framework on one benchmark dataset across the protocol's seeds.
+
+    *execution* is an optional :class:`repro.runner.ExecutionConfig`
+    controlling parallelism and result caching (default: serial, no cache).
+    """
+    # Imported lazily: the runner's spec/engine modules import this module.
+    from repro.runner.engine import GridJob, run_experiment_grid
+
     protocol = protocol or EvaluationProtocol()
-    seeds = spawn_seeds(protocol.base_seed, protocol.n_seeds)
-    histories = []
-    for seed in seeds:
-        data_split = load_dataset(dataset_name, scale=protocol.dataset_scale, random_state=seed)
-        histories.append(
-            run_single_seed(framework, data_split, protocol, seed, pipeline_kwargs)
-        )
-    return summarize_histories(framework, dataset_name, histories)
+    key = (framework, dataset_name)
+    job = GridJob(
+        key=key, framework=framework, dataset=dataset_name, pipeline_kwargs=pipeline_kwargs
+    )
+    return run_experiment_grid([job], protocol, execution)[key]
 
 
 def summarize_histories(

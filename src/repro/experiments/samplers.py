@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from repro.core.config import ActiveDPConfig
 from repro.datasets import DATASET_PROFILES, dataset_names
-from repro.experiments.protocol import EvaluationProtocol, FrameworkResult, run_framework_on_dataset
+from repro.experiments.protocol import EvaluationProtocol, FrameworkResult
+from repro.runner.engine import ExecutionConfig, GridJob, nest_results, run_experiment_grid
 
 TABLE4_SAMPLERS: dict[str, str] = {
     "Passive": "passive",
@@ -24,20 +25,25 @@ def run_table4_samplers(
     protocol: EvaluationProtocol | None = None,
     datasets: list[str] | None = None,
     samplers: list[str] | None = None,
+    execution: ExecutionConfig | None = None,
 ) -> dict[str, dict[str, FrameworkResult]]:
     """Run the sampler study; returns ``sampler -> dataset -> FrameworkResult``."""
     protocol = protocol or EvaluationProtocol()
     datasets = datasets or dataset_names()
     samplers = samplers or list(TABLE4_SAMPLERS)
 
-    results: dict[str, dict[str, FrameworkResult]] = {}
-    for sampler_label in samplers:
-        sampler_name = TABLE4_SAMPLERS[sampler_label]
-        results[sampler_label] = {}
-        for dataset in datasets:
-            kind = DATASET_PROFILES[dataset].kind
-            config = ActiveDPConfig.for_dataset_kind(kind, sampler=sampler_name)
-            results[sampler_label][dataset] = run_framework_on_dataset(
-                "activedp", dataset, protocol, pipeline_kwargs={"config": config}
-            )
-    return results
+    jobs = [
+        GridJob(
+            key=(sampler_label, dataset),
+            framework="activedp",
+            dataset=dataset,
+            pipeline_kwargs={
+                "config": ActiveDPConfig.for_dataset_kind(
+                    DATASET_PROFILES[dataset].kind, sampler=TABLE4_SAMPLERS[sampler_label]
+                )
+            },
+        )
+        for sampler_label in samplers
+        for dataset in datasets
+    ]
+    return nest_results(run_experiment_grid(jobs, protocol, execution))

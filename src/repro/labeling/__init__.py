@@ -15,9 +15,11 @@ from repro.labeling.lf import (
     ThresholdLF,
 )
 from repro.labeling.label_matrix import apply_lfs, label_matrix_from_outputs
+from repro.labeling.incremental import IncrementalLabelMatrix
 from repro.labeling.analysis import LFAnalysis, LFSummary
 
 __all__ = [
+    "IncrementalLabelMatrix",
     "ABSTAIN",
     "LabelFunction",
     "KeywordLF",

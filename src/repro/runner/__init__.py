@@ -1,0 +1,44 @@
+"""Experiment execution engine.
+
+One orchestration path for every experiment grid in the reproduction:
+
+* :mod:`repro.runner.spec` — frozen, content-hashed trial descriptions;
+* :mod:`repro.runner.cache` — content-addressed on-disk result cache;
+* :mod:`repro.runner.executor` — the per-trial loop and process-pool
+  scheduling with a serial fallback;
+* :mod:`repro.runner.engine` — grid expansion, cache-first scheduling and
+  aggregation into :class:`~repro.experiments.protocol.FrameworkResult`s.
+"""
+
+from repro.runner.spec import CACHE_FORMAT_VERSION, TrialSpec
+from repro.runner.cache import ResultCache
+from repro.runner.executor import execute_trials, run_trial, run_trial_on_split
+from repro.runner.engine import (
+    ExecutionConfig,
+    GridJob,
+    GridReport,
+    TrialOutcome,
+    expand_jobs,
+    last_report,
+    nest_results,
+    run_experiment_grid,
+    run_specs,
+)
+
+__all__ = [
+    "nest_results",
+    "CACHE_FORMAT_VERSION",
+    "TrialSpec",
+    "ResultCache",
+    "execute_trials",
+    "run_trial",
+    "run_trial_on_split",
+    "ExecutionConfig",
+    "GridJob",
+    "GridReport",
+    "TrialOutcome",
+    "expand_jobs",
+    "last_report",
+    "run_experiment_grid",
+    "run_specs",
+]

@@ -1,0 +1,87 @@
+"""Content-addressed on-disk cache of trial results.
+
+Layout: ``<root>/<first two hex chars>/<full key>.pkl``, one pickled
+:class:`~repro.core.results.RunHistory` per trial, keyed by
+:attr:`TrialSpec.key <repro.runner.spec.TrialSpec.key>`.  Because the key
+covers every input that determines the trial outcome, re-running a grid only
+executes trials whose spec changed; everything else is served from disk.
+
+Writes are atomic (tempfile + ``os.replace``) so concurrent grid runs and
+interrupted processes never leave half-written entries, and unreadable
+entries are treated as misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.core.results import RunHistory
+from repro.runner.spec import TrialSpec
+
+
+class ResultCache:
+    """Pickle-per-trial cache rooted at *root* (created lazily on first put)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path_for(self, spec: TrialSpec | str) -> Path:
+        """Cache file path for a spec (or a raw content key)."""
+        key = spec.key if isinstance(spec, TrialSpec) else str(spec)
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, spec: TrialSpec | str) -> RunHistory | None:
+        """Return the cached history, or ``None`` on a miss or unreadable entry."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "rb") as handle:
+                history = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Unpickling garbage raises a zoo of exception types
+            # (UnpicklingError, ValueError, EOFError, AttributeError, ...);
+            # any unreadable entry is simply a miss and will be rewritten.
+            return None
+        return history if isinstance(history, RunHistory) else None
+
+    def put(self, spec: TrialSpec | str, history: RunHistory) -> Path:
+        """Atomically store *history* under the spec's content key."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(history, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, spec: TrialSpec | str) -> bool:
+        return self.path_for(spec).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of entries removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

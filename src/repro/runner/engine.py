@@ -1,0 +1,229 @@
+"""The experiment engine: grid expansion, scheduling, caching, aggregation.
+
+Every experiment in :mod:`repro.experiments` is some grid of trials —
+frameworks x datasets x seeds, ablation variants x datasets x seeds, and so
+on.  The engine gives them one orchestration path:
+
+1. express the grid as :class:`GridJob`s (one job = one aggregated result
+   cell, e.g. "ActiveDP on youtube");
+2. :func:`expand_jobs` derives the per-seed :class:`TrialSpec` list with
+   deterministic :func:`~repro.utils.rng.spawn_seeds` seeding;
+3. :func:`run_specs` serves cached trials from the content-addressed
+   :class:`~repro.runner.cache.ResultCache` and schedules the rest through
+   :func:`~repro.runner.executor.execute_trials` (process-pool parallel
+   across the *whole* grid, not per cell);
+4. :func:`run_experiment_grid` folds the histories back into
+   :class:`~repro.experiments.protocol.FrameworkResult`s per job.
+
+Because trials are self-contained and deterministically seeded, results are
+identical for any worker count and any cache temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable, Sequence
+
+from repro.core.results import RunHistory
+from repro.experiments.protocol import (
+    EvaluationProtocol,
+    FrameworkResult,
+    summarize_histories,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.executor import execute_trials
+from repro.runner.spec import TrialSpec
+from repro.utils.rng import spawn_seeds
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a grid is executed: parallelism and result caching.
+
+    Attributes
+    ----------
+    workers:
+        Process-pool size; ``1`` (default) runs serially, ``0`` uses all
+        cores (capped).
+    cache_dir:
+        Root of the content-addressed result cache; ``None`` disables
+        caching entirely.
+    use_cache:
+        Master switch; ``False`` ignores ``cache_dir`` (the ``--no-cache``
+        knob).
+    """
+
+    workers: int = 1
+    cache_dir: str | Path | None = None
+    use_cache: bool = True
+
+    def cache(self) -> ResultCache | None:
+        """The configured cache, or ``None`` when caching is off."""
+        if self.cache_dir is None or not self.use_cache:
+            return None
+        return ResultCache(self.cache_dir)
+
+
+@dataclass
+class TrialOutcome:
+    """One executed (or cache-served) trial."""
+
+    spec: TrialSpec
+    history: RunHistory
+    from_cache: bool = False
+
+
+@dataclass
+class GridReport:
+    """Execution statistics of the most recent grid run."""
+
+    n_trials: int = 0
+    n_executed: int = 0
+    n_cached: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.n_trials} trial(s): {self.n_executed} executed, "
+            f"{self.n_cached} from cache"
+        )
+
+
+_last_report: GridReport | None = None
+
+
+def last_report() -> GridReport | None:
+    """Execution statistics of the most recent :func:`run_specs` call."""
+    return _last_report
+
+
+def run_specs(
+    specs: Sequence[TrialSpec], execution: ExecutionConfig | None = None
+) -> list[TrialOutcome]:
+    """Run *specs* (cache-first, then parallel) preserving input order."""
+    global _last_report
+    execution = execution or ExecutionConfig()
+    cache = execution.cache()
+    specs = list(specs)
+
+    histories: dict[int, RunHistory] = {}
+    cached_positions: set[int] = set()
+    pending: list[tuple[int, TrialSpec]] = []
+    for position, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            histories[position] = hit
+            cached_positions.add(position)
+        else:
+            pending.append((position, spec))
+
+    # Persist each trial the moment it finishes: an interrupted grid run
+    # keeps everything completed so far.
+    on_result = cache.put if cache is not None else None
+    executed = execute_trials(
+        [spec for _, spec in pending], workers=execution.workers, on_result=on_result
+    )
+    for (position, _), history in zip(pending, executed):
+        histories[position] = history
+
+    _last_report = GridReport(
+        n_trials=len(specs), n_executed=len(pending), n_cached=len(cached_positions)
+    )
+    return [
+        TrialOutcome(
+            spec=spec, history=histories[position], from_cache=position in cached_positions
+        )
+        for position, spec in enumerate(specs)
+    ]
+
+
+@dataclass(frozen=True, eq=False)
+class GridJob:
+    """One aggregated cell of an experiment grid.
+
+    Attributes
+    ----------
+    key:
+        Hashable label the caller uses to find the cell's
+        :class:`FrameworkResult` in the engine's output (e.g.
+        ``(variant, dataset)``).
+    framework:
+        Pipeline registry name executed for this cell.
+    dataset:
+        Dataset registry name.
+    pipeline_kwargs:
+        Extra pipeline constructor arguments for this cell.
+    """
+
+    key: Hashable
+    framework: str
+    dataset: str
+    pipeline_kwargs: dict | None = None
+
+
+def expand_jobs(
+    jobs: Sequence[GridJob], protocol: EvaluationProtocol
+) -> list[tuple[GridJob, TrialSpec]]:
+    """Expand jobs into per-seed trial specs with deterministic seeding."""
+    seeds = spawn_seeds(protocol.base_seed, protocol.n_seeds)
+    expanded: list[tuple[GridJob, TrialSpec]] = []
+    for job in jobs:
+        for seed in seeds:
+            expanded.append(
+                (
+                    job,
+                    TrialSpec(
+                        framework=job.framework,
+                        dataset=job.dataset,
+                        seed=seed,
+                        protocol=protocol,
+                        pipeline_kwargs=job.pipeline_kwargs,
+                        group=str(job.key),
+                    ),
+                )
+            )
+    return expanded
+
+
+def run_experiment_grid(
+    jobs: Sequence[GridJob],
+    protocol: EvaluationProtocol | None = None,
+    execution: ExecutionConfig | None = None,
+) -> dict[Hashable, FrameworkResult]:
+    """Run a whole experiment grid and aggregate per-job results.
+
+    The flat trial list of *all* jobs is scheduled at once, so the process
+    pool stays busy across cells instead of draining per cell.
+    """
+    protocol = protocol or EvaluationProtocol()
+    keys = [job.key for job in jobs]
+    if len(keys) != len(set(keys)):
+        raise ValueError("grid jobs must have unique keys")
+    expanded = expand_jobs(jobs, protocol)
+    outcomes = run_specs([spec for _, spec in expanded], execution)
+
+    histories: dict[int, list[RunHistory]] = {}
+    for (job, _), outcome in zip(expanded, outcomes):
+        histories.setdefault(id(job), []).append(outcome.history)
+
+    results: dict[Hashable, FrameworkResult] = {}
+    for job in jobs:
+        results[job.key] = summarize_histories(
+            job.framework, job.dataset, histories.get(id(job), [])
+        )
+    return results
+
+
+def nest_results(
+    per_key: dict[Hashable, FrameworkResult]
+) -> dict[Hashable, dict[Hashable, FrameworkResult]]:
+    """Regroup ``{(outer, inner): result}`` into ``{outer: {inner: result}}``.
+
+    The experiment drivers key their grid jobs by ``(variant, dataset)``-style
+    pairs; this folds the engine's flat result dict into their nested return
+    shape, preserving insertion order on both levels.
+    """
+    nested: dict[Hashable, dict[Hashable, FrameworkResult]] = {}
+    for (outer, inner), result in per_key.items():
+        nested.setdefault(outer, {})[inner] = result
+    return nested

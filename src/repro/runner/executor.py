@@ -1,0 +1,152 @@
+"""Trial execution: the per-trial loop and the parallel scheduler.
+
+:func:`run_trial_on_split` is the canonical evaluation loop for one trial —
+``n_iterations`` pipeline steps, downstream-model evaluation at the
+protocol's checkpoints, and the pipeline's own per-iteration records
+propagated into the :class:`~repro.core.results.RunHistory` (the protocol
+layer delegates here, so serial and parallel paths share one loop).
+
+:func:`execute_trials` schedules a batch of :class:`TrialSpec`s across a
+process pool.  Trials are fully self-contained — the dataset is regenerated
+inside the worker from the spec's seed, and every stochastic component is
+seeded from the spec — so parallel execution is bit-identical to serial
+execution in any order.  Pool-level failures (sandboxes without process
+support, unpicklable kwargs) degrade to an in-process serial loop.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
+from typing import Callable, Sequence
+
+from repro.baselines import get_pipeline
+from repro.core.results import IterationRecord, RunHistory
+from repro.datasets import load_dataset
+from repro.runner.spec import TrialSpec
+
+
+def run_trial_on_split(
+    framework: str,
+    data_split,
+    protocol,
+    seed: int,
+    pipeline_kwargs: dict | None = None,
+) -> RunHistory:
+    """Run one framework on one already-generated dataset split with one seed."""
+    pipeline = get_pipeline(framework, data_split, random_state=seed, **(pipeline_kwargs or {}))
+    history = RunHistory(framework=framework, dataset=data_split.name, seed=seed)
+    eval_points = set(protocol.evaluation_iterations())
+    for iteration in range(1, protocol.n_iterations + 1):
+        record = pipeline.step()
+        if record is None:
+            # Pipelines without per-iteration introspection still get a row.
+            record = IterationRecord(iteration=iteration, query_index=-1)
+        else:
+            # Align the pipeline's internal counter with the protocol's
+            # 1-based labelling-budget count.
+            record.iteration = iteration
+        if iteration in eval_points:
+            record.test_accuracy = pipeline.evaluate_end_model(C=protocol.end_model_C)
+            quality = pipeline.label_quality()
+            record.label_coverage = quality["coverage"]
+            record.label_accuracy = quality["accuracy"]
+        history.add(record)
+    return history
+
+
+def run_trial(spec: TrialSpec) -> RunHistory:
+    """Execute one trial from scratch (dataset generation included)."""
+    data_split = load_dataset(
+        spec.dataset, scale=spec.protocol.dataset_scale, random_state=spec.seed
+    )
+    return run_trial_on_split(
+        spec.framework, data_split, spec.protocol, spec.seed, spec.pipeline_kwargs
+    )
+
+
+def default_workers() -> int:
+    """Default worker count for ``workers=0`` (all cores, capped at 8)."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def execute_trials(
+    specs: Sequence[TrialSpec],
+    workers: int = 1,
+    on_result: Callable[[TrialSpec, RunHistory], None] | None = None,
+) -> list[RunHistory]:
+    """Execute *specs* and return their histories in the same order.
+
+    ``workers > 1`` fans the trials out over a process pool (``workers=0``
+    means :func:`default_workers`); ``workers=1`` runs in-process.  If the
+    pool cannot be created or fed, execution falls back to the serial path
+    with a warning — results are identical either way.
+
+    *on_result* is invoked once per trial as soon as its history is
+    available (completion order under a pool) — the engine uses it to
+    persist results incrementally, so an interrupted grid run keeps every
+    trial finished so far.
+    """
+    if workers == 0:
+        workers = default_workers()
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    specs = list(specs)
+
+    def _serial() -> list[RunHistory]:
+        histories = []
+        for spec in specs:
+            history = run_trial(spec)
+            if on_result is not None:
+                on_result(spec, history)
+            histories.append(history)
+        return histories
+
+    if workers <= 1 or len(specs) <= 1:
+        return _serial()
+
+    histories: list[RunHistory | None] = [None] * len(specs)
+    remaining = set(range(len(specs)))
+
+    def _serial_remaining(exc: BaseException) -> list[RunHistory]:
+        warnings.warn(
+            f"parallel trial execution unavailable ({exc!r}); "
+            f"running {len(remaining)} remaining trial(s) serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for position in sorted(remaining):
+            history = run_trial(specs[position])
+            if on_result is not None:
+                on_result(specs[position], history)
+            histories[position] = history
+        return histories
+
+    # Only pool-infrastructure failures fall back to the serial path;
+    # exceptions raised by trial code (or by on_result) propagate unmasked —
+    # catching them here would misreport a genuine failure as "parallelism
+    # unavailable" and silently re-execute the whole batch.
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+        try:
+            futures = {pool.submit(run_trial, spec): position for position, spec in enumerate(specs)}
+        except (PicklingError, OSError, RuntimeError) as exc:
+            # Parent-side spawn/serialisation failure (sandboxed env, spec
+            # not picklable): nothing ran in a worker yet.
+            pool.shutdown(cancel_futures=True)
+            return _serial_remaining(exc)
+        for future in as_completed(futures):
+            position = futures[future]
+            try:
+                history = future.result()
+            except BrokenProcessPool as exc:
+                # Workers died underneath us (OOM, killed): infrastructure,
+                # not the trial; finish the incomplete positions in-process.
+                return _serial_remaining(exc)
+            if on_result is not None:
+                on_result(specs[position], history)
+            histories[position] = history
+            remaining.discard(position)
+    return histories

@@ -1,0 +1,151 @@
+"""Immutable trial descriptions and their content hashes.
+
+A *trial* is the atomic unit of the experiment engine: one framework on one
+dataset with one seed under one evaluation protocol.  :class:`TrialSpec`
+freezes that description so trials can be hashed, deduplicated, shipped to
+worker processes and used as content addresses for the on-disk result cache
+(:mod:`repro.runner.cache`).
+
+The hash covers every input that determines the trial's outcome — framework,
+dataset, seed, protocol parameters and pipeline keyword arguments (configs
+are dataclasses and are canonicalised field by field) — plus a cache format
+version so stale entries are ignored after incompatible changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.experiments.protocol import EvaluationProtocol
+
+#: Bump when the trial execution semantics or RunHistory layout change in a
+#: way that invalidates previously cached results.
+CACHE_FORMAT_VERSION = 1
+
+
+def canonical_value(obj):
+    """Recursively convert *obj* into a JSON-serialisable canonical form.
+
+    Dataclasses (configs, protocols) are expanded field by field with their
+    type name, mappings are key-sorted, numpy scalars are unboxed and numpy
+    arrays expand element-wise.  Anything else falls back to ``repr`` —
+    except identity-based reprs (``<... object at 0x...>``), which are
+    rejected: they differ across processes, so hashing them would produce
+    unstable content keys (and truncated reprs would collide).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__type__": type(obj).__name__,
+            **{
+                f.name: canonical_value(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        return {
+            str(key): canonical_value(value)
+            for key, value in sorted(obj.items(), key=lambda item: str(item[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(value) for value in obj]
+    if isinstance(obj, np.ndarray):
+        return [canonical_value(value) for value in obj.tolist()]
+    if isinstance(obj, (np.integer, np.bool_)):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    text = repr(obj)
+    if " at 0x" in text:
+        raise TypeError(
+            f"cannot content-hash a {type(obj).__name__}: its repr is "
+            "identity-based and would differ across processes"
+        )
+    return text
+
+
+def digest(payload) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of *payload*."""
+    canonical = json.dumps(canonical_value(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One framework x dataset x seed trial under an evaluation protocol.
+
+    Attributes
+    ----------
+    framework:
+        Registry name of the interactive pipeline (``"activedp"``, ...).
+    dataset:
+        Registry name of the benchmark dataset.
+    seed:
+        Per-trial seed; drives both dataset generation and the pipeline.
+    protocol:
+        The evaluation protocol (iterations, eval cadence, dataset scale...).
+    pipeline_kwargs:
+        Extra keyword arguments for the pipeline constructor (ablation
+        configs, noise rates, ...).  ``None`` means none.
+    group:
+        Presentation label used by the engine to aggregate trials into one
+        :class:`~repro.experiments.protocol.FrameworkResult`.  Excluded from
+        the content hash so identical trials share cache entries across
+        experiment drivers.
+    """
+
+    framework: str
+    dataset: str
+    seed: int
+    protocol: EvaluationProtocol
+    pipeline_kwargs: dict | None = None
+    group: str | None = None
+
+    def __post_init__(self):
+        if not self.framework:
+            raise ValueError("framework must be a non-empty name")
+        if not self.dataset:
+            raise ValueError("dataset must be a non-empty name")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+
+    @cached_property
+    def key(self) -> str:
+        """Content address of the trial (hex SHA-256).
+
+        ``n_seeds`` and ``base_seed`` are excluded from the protocol
+        projection: they decide *which* trials a grid expands to, not the
+        outcome of this one, so growing a grid from 1 to 5 seeds keeps the
+        shared trials' cache entries valid (``spawn_seeds`` is
+        prefix-stable).
+        """
+        protocol = canonical_value(self.protocol)
+        protocol.pop("n_seeds", None)
+        protocol.pop("base_seed", None)
+        return digest(
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "framework": self.framework,
+                "dataset": self.dataset,
+                "seed": self.seed,
+                "protocol": protocol,
+                "pipeline_kwargs": self.pipeline_kwargs,
+            }
+        )
+
+    def __hash__(self) -> int:
+        # The generated dataclass hash chokes on the kwargs dict; the content
+        # key is the natural identity anyway.
+        return hash(self.key)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TrialSpec):
+            return NotImplemented
+        return self.key == other.key and self.group == other.group

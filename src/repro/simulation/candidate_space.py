@@ -68,14 +68,15 @@ class _KeywordStatistics:
         return float(self.class_count[keyword][label] / count)
 
 
-_STATS_CACHE: dict[int, _KeywordStatistics] = {}
-
-
 def _keyword_statistics(dataset: TextDataset) -> _KeywordStatistics:
-    key = id(dataset)
-    if key not in _STATS_CACHE:
-        _STATS_CACHE[key] = _KeywordStatistics(dataset)
-    return _STATS_CACHE[key]
+    # Cached on the dataset object itself: a module-level dict keyed by
+    # id(dataset) can hand stale statistics to a new dataset that reuses a
+    # freed object's id.
+    stats = getattr(dataset, "_keyword_statistics_cache", None)
+    if stats is None:
+        stats = _KeywordStatistics(dataset)
+        dataset._keyword_statistics_cache = stats
+    return stats
 
 
 def keyword_lf_candidates(
@@ -107,7 +108,10 @@ def keyword_lf_candidates(
     tokens = dataset.token_sets[query_index]
     labels = range(dataset.n_classes) if target_label is None else [target_label]
     candidates = []
-    for keyword in tokens:
+    # Token sets have hash-randomised iteration order; sorting keeps the
+    # candidate list (and the coverage-proportional draw over it) identical
+    # across processes, which the parallel runner and result cache rely on.
+    for keyword in sorted(tokens):
         coverage = stats.coverage(keyword)
         if coverage < min_coverage or coverage == 0.0:
             continue
@@ -172,7 +176,9 @@ def enumerate_keyword_lfs(
     """
     stats = _keyword_statistics(dataset)
     candidates = []
-    for keyword, count in stats.doc_count.items():
+    # doc_count inherits hash-randomised set order; sort by keyword and break
+    # coverage ties alphabetically so the enumeration is process-independent.
+    for keyword, count in sorted(stats.doc_count.items()):
         coverage = count / max(stats.n_documents, 1)
         if coverage < min_coverage:
             continue
@@ -180,7 +186,7 @@ def enumerate_keyword_lfs(
         label = int(np.argmax(class_counts))
         accuracy = float(class_counts[label] / count)
         candidates.append(CandidateLF(KeywordLF(keyword, label), coverage, accuracy))
-    candidates.sort(key=lambda c: c.coverage, reverse=True)
+    candidates.sort(key=lambda c: (-c.coverage, c.lf.keyword))
     if max_candidates is not None:
         candidates = candidates[:max_candidates]
     return candidates

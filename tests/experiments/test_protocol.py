@@ -45,6 +45,15 @@ class TestRunSingleSeed:
         evaluated = [r for r in history.records if r.test_accuracy is not None]
         assert all(r.label_coverage is not None for r in evaluated)
 
+    def test_pipeline_records_are_propagated(self, tiny_text_split):
+        """The pipeline's real IterationRecord lands in the history (no -1 stubs)."""
+        protocol = EvaluationProtocol(n_iterations=4, eval_every=2, n_seeds=1)
+        history = run_single_seed("activedp", tiny_text_split, protocol, seed=0)
+        assert [r.iteration for r in history.records] == [1, 2, 3, 4]
+        assert all(0 <= r.query_index < len(tiny_text_split.train) for r in history.records)
+        assert any(r.lf_name is not None for r in history.records)
+        assert all(r.n_lfs >= 0 for r in history.records)
+
 
 class TestSummarizeHistories:
     def _history(self, seed, accuracies):

@@ -1,0 +1,109 @@
+"""Tests for the incrementally grown label matrix."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.labeling import ABSTAIN, IncrementalLabelMatrix, KeywordLF, apply_lfs
+from repro.labeling.lf import LabelFunction
+
+
+class CountingLF(LabelFunction):
+    """LF that counts how often it is applied (for cache tests)."""
+
+    def __init__(self, keyword: str, label: int):
+        self.inner = KeywordLF(keyword, label)
+        self.name = f"counting[{keyword}]->{label}"
+        self.applications = 0
+
+    def apply(self, dataset):
+        self.applications += 1
+        return self.inner.apply(dataset)
+
+
+@pytest.fixture()
+def lfs(tiny_text_split):
+    words = ["good", "great", "bad", "awful"]
+    return [KeywordLF(word, i % 2) for i, word in enumerate(words)]
+
+
+class TestEquivalenceWithHstackPath:
+    def test_matches_apply_lfs_after_each_append(self, tiny_text_split, lfs):
+        """The column store equals the old hstack construction at every size."""
+        dataset = tiny_text_split.train
+        store = IncrementalLabelMatrix(dataset, initial_capacity=1)
+        reference = np.empty((len(dataset), 0), dtype=int)
+        for lf in lfs:
+            column = store.append(lf)
+            reference = np.hstack([reference, lf.apply(dataset).reshape(-1, 1)])
+            np.testing.assert_array_equal(store.matrix, reference)
+            np.testing.assert_array_equal(column, reference[:, -1])
+        np.testing.assert_array_equal(store.matrix, apply_lfs(lfs, dataset))
+
+    def test_columns_and_rows_match_fancy_indexing(self, tiny_text_split, lfs):
+        dataset = tiny_text_split.train
+        store = IncrementalLabelMatrix(dataset)
+        for lf in lfs:
+            store.append(lf)
+        full = apply_lfs(lfs, dataset)
+        np.testing.assert_array_equal(store.columns([0, 2]), full[:, [0, 2]])
+        np.testing.assert_array_equal(store.rows([5, 1, 9]), full[[5, 1, 9]])
+
+
+class TestGrowthAndViews:
+    def test_amortised_geometric_growth(self, tiny_text_split, lfs):
+        store = IncrementalLabelMatrix(tiny_text_split.train, initial_capacity=1, growth_factor=2.0)
+        capacities = []
+        for lf in lfs:
+            store.append(lf)
+            capacities.append(store.capacity)
+        assert capacities == [1, 2, 4, 4]
+        assert store.n_cols == len(lfs)
+        assert store.matrix.shape == (len(tiny_text_split.train), len(lfs))
+
+    def test_matrix_view_is_read_only(self, tiny_text_split, lfs):
+        store = IncrementalLabelMatrix(tiny_text_split.train)
+        store.append(lfs[0])
+        with pytest.raises(ValueError):
+            store.matrix[0, 0] = 1
+
+    def test_invalid_parameters_raise(self, tiny_text_split):
+        with pytest.raises(ValueError):
+            IncrementalLabelMatrix(tiny_text_split.train, initial_capacity=0)
+        with pytest.raises(ValueError):
+            IncrementalLabelMatrix(tiny_text_split.train, growth_factor=1.0)
+
+
+class TestApplyCache:
+    def test_repeated_apply_hits_cache(self, tiny_text_split):
+        lf = CountingLF("good", 0)
+        store = IncrementalLabelMatrix(tiny_text_split.train)
+        first = store.apply(lf)
+        second = store.apply(lf)
+        store.append(lf)
+        assert lf.applications == 1
+        np.testing.assert_array_equal(first, second)
+
+    def test_bad_lf_output_shape_raises(self, tiny_text_split):
+        class BrokenLF(LabelFunction):
+            name = "broken"
+
+            def apply(self, dataset):
+                return np.array([ABSTAIN])
+
+        store = IncrementalLabelMatrix(tiny_text_split.train)
+        with pytest.raises(ValueError):
+            store.apply(BrokenLF())
+
+
+class TestSnapshotSemantics:
+    def test_deepcopy_shares_dataset_but_not_buffer(self, tiny_text_split, lfs):
+        store = IncrementalLabelMatrix(tiny_text_split.train)
+        store.append(lfs[0])
+        clone = copy.deepcopy(store)
+        assert clone.dataset is store.dataset
+        clone.append(lfs[1])
+        assert store.n_cols == 1
+        assert clone.n_cols == 2
+        np.testing.assert_array_equal(store.matrix, clone.matrix[:, :1])

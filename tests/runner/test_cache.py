@@ -1,0 +1,78 @@
+"""Tests for the content-addressed result cache."""
+
+import pickle
+
+import pytest
+
+from repro.core.results import IterationRecord, RunHistory
+from repro.experiments import EvaluationProtocol
+from repro.runner import ResultCache, TrialSpec
+from repro.runner.executor import run_trial
+
+PROTOCOL = EvaluationProtocol(n_iterations=3, eval_every=3, n_seeds=1, dataset_scale=0.15)
+
+
+def _history(seed=0):
+    history = RunHistory(framework="f", dataset="d", seed=seed)
+    record = IterationRecord(iteration=1, query_index=4)
+    record.test_accuracy = 0.5
+    history.add(record)
+    return history
+
+
+def _spec(seed=7):
+    return TrialSpec(framework="uncertainty", dataset="youtube", seed=seed, protocol=PROTOCOL)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert cache.get(spec) is None
+        assert spec not in cache
+        cache.put(spec, _history())
+        assert spec in cache
+        assert len(cache) == 1
+        loaded = cache.get(spec)
+        assert loaded.records[0].query_index == 4
+        assert loaded.records[0].test_accuracy == 0.5
+
+    def test_layout_shards_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        path = cache.put(spec, _history())
+        assert path.parent.name == spec.key[:2]
+        assert path.name == f"{spec.key}.pkl"
+
+    @pytest.mark.parametrize(
+        "garbage", [b"not a pickle", b"garbage\n", b"", b"\x80\x04truncated"]
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        # Unpickling garbage raises different exception types depending on
+        # the bytes (UnpicklingError, ValueError, EOFError, ...); all of
+        # them must read as a miss.
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        path = cache.put(spec, _history())
+        path.write_bytes(garbage)
+        assert cache.get(spec) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_spec(1), _history(1))
+        cache.put(_spec(2), _history(2))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestDeterminism:
+    def test_same_spec_produces_byte_identical_history(self, tmp_path):
+        """Executing the same spec twice pickles to the exact same bytes."""
+        spec = _spec(seed=11)
+        first = run_trial(spec)
+        second = run_trial(spec)
+        assert pickle.dumps(first) == pickle.dumps(second)
+
+        cache = ResultCache(tmp_path)
+        cache.put(spec, first)
+        assert pickle.dumps(cache.get(spec)) == pickle.dumps(first)

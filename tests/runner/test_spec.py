@@ -1,0 +1,92 @@
+"""Tests for TrialSpec content hashing."""
+
+import pytest
+
+from repro.core.config import ActiveDPConfig
+from repro.experiments import EvaluationProtocol
+from repro.runner import TrialSpec
+from repro.runner.spec import canonical_value, digest
+
+PROTOCOL = EvaluationProtocol(n_iterations=4, eval_every=2, n_seeds=1, dataset_scale=0.15)
+
+
+def _spec(**overrides):
+    params = dict(framework="uncertainty", dataset="youtube", seed=7, protocol=PROTOCOL)
+    params.update(overrides)
+    return TrialSpec(**params)
+
+
+class TestKey:
+    def test_identical_specs_share_key(self):
+        assert _spec().key == _spec().key
+        assert _spec() == _spec()
+        assert hash(_spec()) == hash(_spec())
+
+    def test_every_input_feeds_the_key(self):
+        base = _spec()
+        assert base.key != _spec(framework="activedp").key
+        assert base.key != _spec(dataset="imdb").key
+        assert base.key != _spec(seed=8).key
+        assert base.key != _spec(protocol=EvaluationProtocol(n_iterations=5)).key
+        assert base.key != _spec(pipeline_kwargs={"noise_rate": 0.1}).key
+
+    def test_group_is_presentation_only(self):
+        assert _spec(group="a").key == _spec(group="b").key
+
+    def test_seed_scaleup_keeps_trial_keys(self):
+        """Growing a grid from 1 to 5 seeds must not invalidate shared trials."""
+        one = EvaluationProtocol(n_iterations=4, eval_every=2, n_seeds=1, dataset_scale=0.15)
+        five = EvaluationProtocol(
+            n_iterations=4, eval_every=2, n_seeds=5, base_seed=9, dataset_scale=0.15
+        )
+        assert _spec(protocol=one).key == _spec(protocol=five).key
+
+    def test_equal_configs_share_key(self):
+        first = _spec(pipeline_kwargs={"config": ActiveDPConfig(alpha=0.7)})
+        second = _spec(pipeline_kwargs={"config": ActiveDPConfig(alpha=0.7)})
+        different = _spec(pipeline_kwargs={"config": ActiveDPConfig(alpha=0.8)})
+        assert first.key == second.key
+        assert first.key != different.key
+
+    def test_kwargs_order_is_irrelevant(self):
+        first = _spec(pipeline_kwargs={"a": 1, "b": 2})
+        second = _spec(pipeline_kwargs={"b": 2, "a": 1})
+        assert first.key == second.key
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides", [{"framework": ""}, {"dataset": ""}, {"seed": -1}]
+    )
+    def test_invalid_specs_raise(self, overrides):
+        with pytest.raises(ValueError):
+            _spec(**overrides)
+
+
+class TestCanonicalValue:
+    def test_dataclasses_expand_by_field(self):
+        encoded = canonical_value(ActiveDPConfig(alpha=0.25))
+        assert encoded["__type__"] == "ActiveDPConfig"
+        assert encoded["alpha"] == 0.25
+
+    def test_digest_is_stable_for_nested_structures(self):
+        payload = {"list": [1, (2, 3)], "none": None, "flag": True}
+        assert digest(payload) == digest({"flag": True, "none": None, "list": [1, [2, 3]]})
+
+    def test_large_arrays_do_not_collide(self):
+        """Arrays with elided reprs must hash by content, not by repr."""
+        import numpy as np
+
+        first = np.zeros(1500)
+        second = first.copy()
+        second[750] = 1.0  # differs only in the repr-elided middle
+        key_a = _spec(pipeline_kwargs={"prior": first}).key
+        key_b = _spec(pipeline_kwargs={"prior": second}).key
+        assert key_a != key_b
+
+    def test_identity_repr_objects_are_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            _spec(pipeline_kwargs={"thing": Opaque()}).key
