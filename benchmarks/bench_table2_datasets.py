@@ -13,7 +13,7 @@ from dataclasses import replace
 
 from repro.experiments import table2_dataset_statistics
 from repro.experiments.protocol import run_framework_on_dataset
-from repro.runner import ExecutionConfig, last_report
+from repro.runner import last_report
 
 
 def test_table2_dataset_statistics(benchmark, bench_protocol, bench_datasets):
@@ -50,9 +50,12 @@ def test_engine_parallel_matches_serial_with_warm_cache(
     """Parallel + cached grid execution is bit-equal to the serial code path."""
     framework = "activedp"
     cache_dir = bench_execution.cache_dir or tmp_path_factory.mktemp("trial-cache")
-    parallel = replace(
-        bench_execution, workers=max(bench_execution.workers, 2), cache_dir=cache_dir
-    )
+    # Keep the workers=0 "all cores" sentinel intact; only promote an
+    # explicit serial setting to an actually-parallel pool.
+    workers = bench_execution.workers
+    if workers == 1:
+        workers = 2
+    parallel = replace(bench_execution, workers=workers, cache_dir=cache_dir)
 
     def run():
         return run_framework_on_dataset(

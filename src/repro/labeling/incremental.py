@@ -99,11 +99,25 @@ class IncrementalLabelMatrix:
 
     def columns(self, indices) -> np.ndarray:
         """Copy of the columns at *indices* (an ``(n_rows, len(indices))`` array)."""
-        return self._buffer[:, : self._n_cols][:, indices].copy()
+        # np.take copies exactly once; fancy indexing + .copy() would copy
+        # the submatrix twice per call — in the refit hot loop.
+        return np.take(self._buffer[:, : self._n_cols], self._int_indices(indices), axis=1)
 
     def rows(self, indices) -> np.ndarray:
         """Copy of the rows at *indices* (an ``(len(indices), n_cols)`` array)."""
-        return self._buffer[np.asarray(indices, dtype=int), : self._n_cols].copy()
+        return np.take(self._buffer[:, : self._n_cols], self._int_indices(indices), axis=0)
+
+    @staticmethod
+    def _int_indices(indices) -> np.ndarray:
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            # Coercing a mask to int would silently select columns 0/1.
+            raise TypeError("boolean masks are not supported; pass integer indices")
+        if indices.size and not np.issubdtype(indices.dtype, np.integer):
+            # astype would silently truncate float "indices" (e.g. scores
+            # passed by mistake); the empty case keeps `[]` working.
+            raise TypeError(f"indices must be integers, got dtype {indices.dtype}")
+        return indices.astype(int, copy=False)
 
     # -------------------------------------------------------------- internals
     def _grow(self) -> None:

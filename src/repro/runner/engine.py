@@ -23,18 +23,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Hashable, Sequence
+from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.core.results import RunHistory
-from repro.experiments.protocol import (
-    EvaluationProtocol,
-    FrameworkResult,
-    summarize_histories,
-)
 from repro.runner.cache import ResultCache
 from repro.runner.executor import execute_trials
 from repro.runner.spec import TrialSpec
 from repro.utils.rng import spawn_seeds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    # Annotation-only: a runtime import would make `import repro.runner`
+    # circular through repro/experiments/__init__.py (see test_imports.py).
+    from repro.experiments.protocol import EvaluationProtocol, FrameworkResult
 
 
 @dataclass(frozen=True)
@@ -118,17 +118,27 @@ def run_specs(
             pending.append((position, spec))
 
     # Persist each trial the moment it finishes: an interrupted grid run
-    # keeps everything completed so far.
-    on_result = cache.put if cache is not None else None
-    executed = execute_trials(
-        [spec for _, spec in pending], workers=execution.workers, on_result=on_result
-    )
+    # keeps everything completed so far.  The report is written in a
+    # ``finally`` with the *actual* completion count, so after a failed grid
+    # last_report() describes the interrupted run, not the previous one.
+    n_executed = 0
+
+    def _on_executed(spec: TrialSpec, history: RunHistory) -> None:
+        nonlocal n_executed
+        n_executed += 1
+        if cache is not None:
+            cache.put(spec, history)
+
+    try:
+        executed = execute_trials(
+            [spec for _, spec in pending], workers=execution.workers, on_result=_on_executed
+        )
+    finally:
+        _last_report = GridReport(
+            n_trials=len(specs), n_executed=n_executed, n_cached=len(cached_positions)
+        )
     for (position, _), history in zip(pending, executed):
         histories[position] = history
-
-    _last_report = GridReport(
-        n_trials=len(specs), n_executed=len(pending), n_cached=len(cached_positions)
-    )
     return [
         TrialOutcome(
             spec=spec, history=histories[position], from_cache=position in cached_positions
@@ -195,6 +205,10 @@ def run_experiment_grid(
     The flat trial list of *all* jobs is scheduled at once, so the process
     pool stays busy across cells instead of draining per cell.
     """
+    # Imported lazily: this module must stay importable without triggering
+    # repro/experiments/__init__.py (which imports the engine back).
+    from repro.experiments.protocol import EvaluationProtocol, summarize_histories
+
     protocol = protocol or EvaluationProtocol()
     keys = [job.key for job in jobs]
     if len(keys) != len(set(keys)):
@@ -202,14 +216,14 @@ def run_experiment_grid(
     expanded = expand_jobs(jobs, protocol)
     outcomes = run_specs([spec for _, spec in expanded], execution)
 
-    histories: dict[int, list[RunHistory]] = {}
+    histories: dict[GridJob, list[RunHistory]] = {}
     for (job, _), outcome in zip(expanded, outcomes):
-        histories.setdefault(id(job), []).append(outcome.history)
+        histories.setdefault(job, []).append(outcome.history)
 
     results: dict[Hashable, FrameworkResult] = {}
     for job in jobs:
         results[job.key] = summarize_histories(
-            job.framework, job.dataset, histories.get(id(job), [])
+            job.framework, job.dataset, histories.get(job, [])
         )
     return results
 

@@ -17,10 +17,10 @@ support, unpicklable kwargs) degrade to an in-process serial loop.
 from __future__ import annotations
 
 import os
+import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from pickle import PicklingError
 from typing import Callable, Sequence
 
 from repro.baselines import get_pipeline
@@ -95,21 +95,28 @@ def execute_trials(
     if workers < 0:
         raise ValueError("workers must be >= 0")
     specs = list(specs)
+    histories: list[RunHistory | None] = [None] * len(specs)
+    remaining = set(range(len(specs)))
+    attempted: set[int] = set()
+
+    def _record(position: int, history: RunHistory) -> None:
+        # The one place a finished trial is accounted for, on every path
+        # (serial, pool, fallback, salvage).  ``attempted`` is marked before
+        # on_result so a hook that raises mid-call (e.g. cache disk full) is
+        # never re-invoked for the same trial by the salvage pass.
+        attempted.add(position)
+        if on_result is not None:
+            on_result(specs[position], history)
+        histories[position] = history
+        remaining.discard(position)
 
     def _serial() -> list[RunHistory]:
-        histories = []
-        for spec in specs:
-            history = run_trial(spec)
-            if on_result is not None:
-                on_result(spec, history)
-            histories.append(history)
+        for position in sorted(remaining):
+            _record(position, run_trial(specs[position]))
         return histories
 
     if workers <= 1 or len(specs) <= 1:
         return _serial()
-
-    histories: list[RunHistory | None] = [None] * len(specs)
-    remaining = set(range(len(specs)))
 
     def _serial_remaining(exc: BaseException) -> list[RunHistory]:
         warnings.warn(
@@ -118,35 +125,72 @@ def execute_trials(
             RuntimeWarning,
             stacklevel=3,
         )
-        for position in sorted(remaining):
-            history = run_trial(specs[position])
-            if on_result is not None:
-                on_result(specs[position], history)
-            histories[position] = history
-        return histories
+        return _serial()
+
+    # submit() returns before the spec is pickled (serialisation happens in
+    # the executor's feeder thread), so an unpicklable spec cannot be caught
+    # around submit — it would surface later from future.result() and fail
+    # the whole batch.  Pre-validate the worker payload instead so it
+    # degrades to the serial path before any worker starts.  Any pickling
+    # failure means the pool is unusable for this batch, hence the broad
+    # except.
+    try:
+        pickle.dumps((run_trial, specs))
+    except Exception as exc:
+        return _serial_remaining(exc)
 
     # Only pool-infrastructure failures fall back to the serial path;
     # exceptions raised by trial code (or by on_result) propagate unmasked —
     # catching them here would misreport a genuine failure as "parallelism
     # unavailable" and silently re-execute the whole batch.
-    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(specs)))
+    except (ImportError, OSError, RuntimeError) as exc:
+        # Sandboxed environments without process/semaphore support (missing
+        # sem_open raises ImportError): nothing ran in a worker yet.
+        return _serial_remaining(exc)
+    with pool:
         try:
             futures = {pool.submit(run_trial, spec): position for position, spec in enumerate(specs)}
-        except (PicklingError, OSError, RuntimeError) as exc:
-            # Parent-side spawn/serialisation failure (sandboxed env, spec
-            # not picklable): nothing ran in a worker yet.
+        except (OSError, RuntimeError) as exc:
+            # Worker spawn failure: nothing ran in a worker yet.
             pool.shutdown(cancel_futures=True)
             return _serial_remaining(exc)
-        for future in as_completed(futures):
-            position = futures[future]
-            try:
-                history = future.result()
-            except BrokenProcessPool as exc:
-                # Workers died underneath us (OOM, killed): infrastructure,
-                # not the trial; finish the incomplete positions in-process.
-                return _serial_remaining(exc)
-            if on_result is not None:
-                on_result(specs[position], history)
-            histories[position] = history
-            remaining.discard(position)
+        try:
+            for future in as_completed(futures):
+                position = futures[future]
+                try:
+                    history = future.result()
+                except BrokenProcessPool as exc:
+                    # Workers died underneath us (OOM, killed):
+                    # infrastructure, not the trial; finish the incomplete
+                    # positions in-process.
+                    return _serial_remaining(exc)
+                _record(position, history)
+        except (KeyboardInterrupt, SystemExit):
+            # Interrupts must exit promptly — don't wait out in-flight
+            # trials (potentially a full trial duration) or run the salvage
+            # pass, which a second Ctrl-C would land in.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        except BaseException:
+            # A trial (or on_result) failed.  Without this, the `with pool`
+            # exit would silently run every still-queued trial to completion
+            # before the exception reached the caller — and drop those
+            # results on the floor.  Cancel the queue, wait only for the
+            # in-flight trials, and persist whatever did finish so the
+            # "interrupted runs keep completed trials" promise holds.
+            pool.shutdown(wait=True, cancel_futures=True)
+            for future, position in futures.items():
+                # attempted covers every recorded position (it is marked
+                # before remaining is discarded), including hook-raised ones.
+                if position in attempted or not future.done() or future.cancelled():
+                    continue
+                try:
+                    _record(position, future.result())
+                except Exception:
+                    # Another failed trial, or a failing on_result: the
+                    # original exception is the one to report.
+                    continue
+            raise
     return histories

@@ -17,12 +17,18 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.experiments.protocol import EvaluationProtocol
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    # Only needed for annotations: importing repro.experiments at runtime
+    # would close the cycle experiments -> runner.engine -> runner.spec and
+    # make `import repro.runner` order-dependent (workers on spawn-start
+    # platforms import it first).
+    from repro.experiments.protocol import EvaluationProtocol
 
 #: Bump when the trial execution semantics or RunHistory layout change in a
 #: way that invalidates previously cached results.
@@ -48,12 +54,32 @@ def canonical_value(obj):
             },
         }
     if isinstance(obj, dict):
-        return {
-            str(key): canonical_value(value)
-            for key, value in sorted(obj.items(), key=lambda item: str(item[0]))
-        }
+        canonical = {}
+        for key, value in sorted(obj.items(), key=lambda item: str(item[0])):
+            text = str(key)
+            if text in canonical:
+                # Silently merging would give two distinct specs one content
+                # key — and serve one trial's cached result for the other.
+                raise TypeError(
+                    f"cannot content-hash dict: distinct keys stringify to {text!r}"
+                )
+            if text in ("__set__", "__type__"):
+                # Reserved sentinels of the set/dataclass encodings: a dict
+                # carrying them would collide with a genuine set/dataclass.
+                raise TypeError(
+                    f"cannot content-hash dict: key {text!r} is a reserved "
+                    "canonical-encoding sentinel"
+                )
+            canonical[text] = canonical_value(value)
+        return canonical
     if isinstance(obj, (list, tuple)):
         return [canonical_value(value) for value in obj]
+    if isinstance(obj, (set, frozenset)):
+        # Iteration (and repr) order is hash-randomised across processes;
+        # sort by the canonical JSON encoding for a stable key.
+        encoded = [canonical_value(value) for value in obj]
+        encoded.sort(key=lambda value: json.dumps(value, sort_keys=True))
+        return {"__set__": encoded}
     if isinstance(obj, np.ndarray):
         return [canonical_value(value) for value in obj.tolist()]
     if isinstance(obj, (np.integer, np.bool_)):
@@ -71,10 +97,20 @@ def canonical_value(obj):
     return text
 
 
+def _digest_canonical(canonical) -> str:
+    """SHA-256 hex digest of an already-canonicalised payload.
+
+    Canonical forms must not pass through :func:`canonical_value` again:
+    the reserved-sentinel guard would (correctly) reject their ``__type__``
+    and ``__set__`` markers.
+    """
+    encoded = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
 def digest(payload) -> str:
     """SHA-256 hex digest of the canonical JSON encoding of *payload*."""
-    canonical = json.dumps(canonical_value(payload), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return _digest_canonical(canonical_value(payload))
 
 
 @dataclass(frozen=True)
@@ -129,14 +165,14 @@ class TrialSpec:
         protocol = canonical_value(self.protocol)
         protocol.pop("n_seeds", None)
         protocol.pop("base_seed", None)
-        return digest(
+        return _digest_canonical(
             {
                 "version": CACHE_FORMAT_VERSION,
                 "framework": self.framework,
                 "dataset": self.dataset,
                 "seed": self.seed,
                 "protocol": protocol,
-                "pipeline_kwargs": self.pipeline_kwargs,
+                "pipeline_kwargs": canonical_value(self.pipeline_kwargs),
             }
         )
 

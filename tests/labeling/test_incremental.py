@@ -50,6 +50,17 @@ class TestEquivalenceWithHstackPath:
         np.testing.assert_array_equal(store.columns([0, 2]), full[:, [0, 2]])
         np.testing.assert_array_equal(store.rows([5, 1, 9]), full[[5, 1, 9]])
 
+    def test_boolean_masks_are_rejected(self, tiny_text_split, lfs):
+        """A mask coerced to int would silently select columns 0/1."""
+        store = IncrementalLabelMatrix(tiny_text_split.train)
+        for lf in lfs:
+            store.append(lf)
+        mask = [True] + [False] * (len(lfs) - 1)
+        with pytest.raises(TypeError, match="mask"):
+            store.columns(mask)
+        with pytest.raises(TypeError, match="mask"):
+            store.rows([True, False])
+
 
 class TestGrowthAndViews:
     def test_amortised_geometric_growth(self, tiny_text_split, lfs):

@@ -1,0 +1,23 @@
+"""Shared fixtures for the runner test suite."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+import repro
+
+
+@pytest.fixture()
+def subprocess_env():
+    """Environment for fresh-interpreter subprocesses.
+
+    Prepends the directory that provides ``repro`` to PYTHONPATH so the
+    child resolves the package the same way this process did, however the
+    parent interpreter found it (PYTHONPATH, editable install...).
+    """
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    return env

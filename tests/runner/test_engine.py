@@ -95,6 +95,9 @@ class TestCaching:
         with pytest.raises(Exception):
             run_specs([good, bad], ExecutionConfig(workers=1, cache_dir=tmp_path))
         assert good in ResultCache(tmp_path)
+        # The report describes the interrupted run, not the previous one.
+        report = last_report()
+        assert report.n_trials == 2 and report.n_executed == 1
 
     def test_cache_outcomes_marked(self, tmp_path):
         execution = ExecutionConfig(cache_dir=tmp_path)

@@ -90,3 +90,48 @@ class TestCanonicalValue:
 
         with pytest.raises(TypeError):
             _spec(pipeline_kwargs={"thing": Opaque()}).key
+
+    def test_sets_hash_order_independently(self, subprocess_env):
+        """Set values must canonicalise identically across interpreter runs.
+
+        Set iteration order is hash-randomised, so the digest is computed
+        under several PYTHONHASHSEEDs in fresh interpreters.
+        """
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.runner.spec import digest;"
+            "print(digest({'tags': {'alpha', 'beta', 'gamma', 1, 2}}))"
+        )
+        keys = set()
+        for seed in (0, 1, 7):
+            env = {**subprocess_env, "PYTHONHASHSEED": str(seed)}
+            proc = subprocess.run(
+                [sys.executable, "-c", code], capture_output=True, text=True, env=env
+            )
+            assert proc.returncode == 0, proc.stderr
+            keys.add(proc.stdout.strip())
+        assert len(keys) == 1
+        # Sets and lists of the same elements stay distinct inputs.
+        assert digest({"x": {1, 2}}) != digest({"x": [1, 2]})
+
+    def test_reserved_sentinel_keys_are_rejected(self):
+        """Dicts carrying the encoding sentinels must raise, not collide.
+
+        Otherwise ``{'x': {'a'}}`` and ``{'x': {'__set__': ['a']}}`` would
+        share one content key (same for ``__type__`` vs dataclasses).
+        """
+        with pytest.raises(TypeError, match="reserved"):
+            canonical_value({"x": {"__set__": ["a"]}})
+        with pytest.raises(TypeError, match="reserved"):
+            canonical_value({"x": {"__type__": "ActiveDPConfig"}})
+
+    def test_colliding_stringified_keys_are_rejected(self):
+        """Keys that stringify identically must raise, not silently merge.
+
+        Merging would give two distinct kwargs dicts one content key and
+        serve one trial's cached result for the other.
+        """
+        with pytest.raises(TypeError, match="stringify"):
+            canonical_value({1: "a", "1": "b"})
