@@ -1,0 +1,123 @@
+"""Benchmark EXP-PS: paper-scale protocol runs with warm-started label-model refits.
+
+Runs the same ActiveDP grid twice through the experiment engine — once with
+``warm_start_label_model=False`` (the historical cold-start-EM behaviour)
+and once with warm starts enabled — and reports wall-clock plus the total
+number of EM iterations spent on label-model refits, asserting the headline
+metric stays within tolerance.
+
+Scaled down by default so it completes in about a minute; environment
+variables restore the paper's protocol:
+
+* ``REPRO_PAPER_BENCH_FULL=1``        run ``EvaluationProtocol.paper()``
+  verbatim (300 iterations x 5 seeds, full-size corpora);
+* ``REPRO_PAPER_BENCH_ITERATIONS``    labelling budget (default 30);
+* ``REPRO_PAPER_BENCH_SEEDS``         repetitions (default 1);
+* ``REPRO_PAPER_BENCH_SCALE``         dataset scale factor (default 0.3).
+
+The engine's ``--workers`` / ``--cache-dir`` / ``--no-cache`` options apply
+as in every other benchmark (warm and cold variants hash to distinct cache
+entries through their ``pipeline_kwargs``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import EvaluationProtocol
+from repro.runner.engine import GridJob, run_experiment_grid
+
+#: Headline-metric tolerance between warm- and cold-start runs.  Warm starts
+#: change the EM trajectory, not the model, so the average test accuracy must
+#: agree to within a few points.
+ACCURACY_TOLERANCE = 0.05
+
+
+@pytest.fixture(scope="module")
+def paper_protocol() -> EvaluationProtocol:
+    """The paper protocol, scaled down unless REPRO_PAPER_BENCH_FULL=1."""
+    if os.environ.get("REPRO_PAPER_BENCH_FULL") == "1":
+        return EvaluationProtocol.paper()
+    iterations = int(os.environ.get("REPRO_PAPER_BENCH_ITERATIONS", 30))
+    return EvaluationProtocol.paper(
+        n_iterations=iterations,
+        eval_every=max(iterations // 3, 1),
+        n_seeds=int(os.environ.get("REPRO_PAPER_BENCH_SEEDS", 1)),
+        dataset_scale=float(os.environ.get("REPRO_PAPER_BENCH_SCALE", 0.3)),
+    )
+
+
+def _total_em_iterations(results) -> int:
+    """Sum the final cumulative EM-iteration counters across all trials."""
+    total = 0
+    for result in results.values():
+        for history in result.histories:
+            counters = [
+                record.lm_em_iterations
+                for record in history.records
+                if record.lm_em_iterations is not None
+            ]
+            if counters:
+                total += counters[-1]
+    return total
+
+
+def test_paper_scale_warm_vs_cold(
+    benchmark, paper_protocol, smallest_bench_dataset, bench_execution
+):
+    """Warm-started refits must cut EM work without moving the headline metric."""
+    variants = {"cold": False, "warm": True}
+
+    def run():
+        results = {}
+        timings = {}
+        for variant, warm in variants.items():
+            jobs = [
+                GridJob(
+                    key=(variant, smallest_bench_dataset),
+                    framework="activedp",
+                    dataset=smallest_bench_dataset,
+                    pipeline_kwargs={
+                        "config_overrides": {"warm_start_label_model": warm}
+                    },
+                )
+            ]
+            start = time.perf_counter()
+            results[variant] = run_experiment_grid(
+                jobs, paper_protocol, bench_execution
+            )
+            timings[variant] = time.perf_counter() - start
+        return results, timings
+
+    results, timings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    summary = {}
+    for variant in variants:
+        cell = results[variant][(variant, smallest_bench_dataset)]
+        summary[variant] = {
+            "accuracy": cell.average_accuracy,
+            "em_iterations": _total_em_iterations(results[variant]),
+            "seconds": timings[variant],
+        }
+
+    print(
+        f"\n\nPaper-scale protocol on {smallest_bench_dataset!r} "
+        f"({paper_protocol.n_iterations} iterations x {paper_protocol.n_seeds} seed(s)):"
+    )
+    for variant, row in summary.items():
+        print(
+            f"  {variant:5s} avg_acc={row['accuracy']:.4f} "
+            f"em_iterations={row['em_iterations']:6d} "
+            f"wall={row['seconds']:.2f}s"
+        )
+
+    # Warm starts must not spend more EM iterations than cold starts, and the
+    # headline metric must agree within tolerance.
+    assert summary["warm"]["em_iterations"] <= summary["cold"]["em_iterations"]
+    assert (
+        abs(summary["warm"]["accuracy"] - summary["cold"]["accuracy"])
+        <= ACCURACY_TOLERANCE
+    )

@@ -15,6 +15,11 @@ Execution is routed through the experiment engine; the ``--workers``,
 root ``conftest.py``, with ``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_CACHE_DIR``
 / ``REPRO_BENCH_NO_CACHE`` fallbacks) control parallelism and trial-result
 caching for every benchmark.
+
+``bench_paper_scale.py`` additionally understands ``REPRO_PAPER_BENCH_FULL``
+/ ``REPRO_PAPER_BENCH_ITERATIONS`` / ``REPRO_PAPER_BENCH_SEEDS`` /
+``REPRO_PAPER_BENCH_SCALE`` to grow its scaled-down warm-vs-cold comparison
+back to the verbatim ``EvaluationProtocol.paper()`` protocol.
 """
 
 from __future__ import annotations

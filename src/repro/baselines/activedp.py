@@ -8,6 +8,8 @@ framework.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.baselines.base import InteractivePipeline
@@ -31,6 +33,12 @@ class ActiveDPPipeline(InteractivePipeline):
     config:
         Optional :class:`ActiveDPConfig` override (defaults to the paper's
         per-kind configuration).
+    config_overrides:
+        Individual :class:`ActiveDPConfig` fields to replace on top of the
+        per-kind defaults (or on top of *config* when both are given).  A
+        plain dict, so engine grids can vary single knobs (e.g.
+        ``{"warm_start_label_model": False}``) through content-hashed
+        ``pipeline_kwargs`` without spelling out a whole config.
     noise_rate:
         Label-noise rate for the simulated user (Table 5; default 0).
     accuracy_threshold:
@@ -44,11 +52,14 @@ class ActiveDPPipeline(InteractivePipeline):
         data_split: DataSplit,
         random_state: RandomState = None,
         config: ActiveDPConfig | None = None,
+        config_overrides: dict | None = None,
         noise_rate: float = 0.0,
         accuracy_threshold: float = 0.6,
     ):
         super().__init__(data_split, random_state)
         self.config = config or ActiveDPConfig.for_dataset_kind(data_split.kind)
+        if config_overrides:
+            self.config = dataclasses.replace(self.config, **config_overrides)
         seed = int(self.rng.integers(2**31 - 1))
         self.framework = ActiveDP(
             data_split.train, data_split.valid, self.config, random_state=seed

@@ -142,26 +142,56 @@ class ConFusion:
         Only non-rejected validation instances count toward the accuracy
         objective, matching the paper.  Ties are broken toward the *smallest*
         threshold so that, all else equal, the more-covering aggregation wins.
+
+        A single sorted-confidence sweep computes every candidate's objective
+        from prefix sums — O((n + U) log n) for U unique confidences instead
+        of the naive O(U * n) full re-aggregation per candidate.  Raising the
+        threshold past a confidence value only moves that instance from the
+        AL side to the LM-or-rejected side, so each candidate's correct and
+        accepted counts are cumulative functions of the sort position.
         """
+        al_proba_valid = check_probability_matrix(al_proba_valid, "al_proba_valid")
+        lm_proba_valid = check_probability_matrix(lm_proba_valid, "lm_proba_valid")
+        lm_covered_valid = np.asarray(lm_covered_valid, dtype=bool)
         y_valid = np.asarray(y_valid, dtype=int)
+        n_instances = al_proba_valid.shape[0]
+        if lm_proba_valid.shape != al_proba_valid.shape:
+            raise ValueError("al_proba_valid and lm_proba_valid must have the same shape")
+        if lm_covered_valid.shape != (n_instances,):
+            raise ValueError("lm_covered_valid must be a boolean vector of length n")
+
+        confidence = al_proba_valid.max(axis=1)
+        al_correct = al_proba_valid.argmax(axis=1) == y_valid
+        lm_correct = (lm_proba_valid.argmax(axis=1) == y_valid) & lm_covered_valid
+
+        order = np.argsort(confidence, kind="stable")
+        confidence_sorted = confidence[order]
+        # Prefix sums over instances sorted by confidence: position p splits
+        # the instances into the LM side [0, p) (confidence < threshold) and
+        # the AL side [p, n) (confidence >= threshold).
+        prefix_covered = np.concatenate([[0], np.cumsum(lm_covered_valid[order])])
+        prefix_lm_correct = np.concatenate([[0], np.cumsum(lm_correct[order])])
+        prefix_al_correct = np.concatenate([[0], np.cumsum(al_correct[order])])
+
+        candidates = np.unique(np.concatenate([[0.0], confidence_sorted, [1.0]]))
+        split = np.searchsorted(confidence_sorted, candidates, side="left")
+        n_al = n_instances - split
+        n_correct = (prefix_al_correct[-1] - prefix_al_correct[split]) + prefix_lm_correct[split]
+        n_accepted = n_al + prefix_covered[split]
+        if self.objective == "accuracy":
+            scores = np.where(
+                n_accepted > 0, n_correct / np.maximum(n_accepted, 1), 0.0
+            )
+        else:
+            scores = n_accepted / max(n_instances, 1)
+
+        # Same tie-breaking as the naive candidate loop: ascending candidate
+        # order, keep the first strictly better score.
         best_threshold = 0.0
         best_score = -np.inf
-        for threshold in self.candidate_thresholds(al_proba_valid):
-            aggregated = self.aggregate(
-                al_proba_valid, lm_proba_valid, lm_covered_valid, threshold
-            )
-            if self.objective == "accuracy":
-                if not np.any(aggregated.accepted):
-                    score = 0.0
-                else:
-                    score = accuracy_score(
-                        y_valid[aggregated.accepted],
-                        aggregated.labels[aggregated.accepted],
-                    )
-            else:
-                score = aggregated.coverage
+        for threshold, score in zip(candidates, scores):
             if score > best_score + 1e-12:
-                best_score = score
+                best_score = float(score)
                 best_threshold = float(threshold)
         return best_threshold
 

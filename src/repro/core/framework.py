@@ -196,6 +196,7 @@ class ActiveDP:
             n_lfs=len(state.lfs),
             n_selected_lfs=len(state.selection.selected_indices),
             threshold=state.threshold,
+            lm_em_iterations=state.lm_em_iterations,
         )
         state.iteration += 1
         return record
@@ -248,7 +249,10 @@ class ActiveDP:
         The dirty flags on :class:`TrainingState` track whether the LF set or
         the pseudo-labelled set changed since the last refit; stages whose
         inputs are unchanged keep their (deterministic) fitted models and
-        cached predictions.  ``force=True`` reruns every stage regardless.
+        cached predictions.  ``force=True`` reruns every stage regardless —
+        except that with ``warm_start_label_model`` enabled a label-model fit
+        whose selection (and therefore input matrix) is unchanged reuses the
+        carried converged fit instead of re-running EM over it.
         """
         state = self.state
         lfs_dirty = force or state.lfs_dirty
@@ -313,6 +317,9 @@ class ActiveDP:
             return AggregatedLabels(labels, proba, accepted, source, threshold=1.0)
 
         if lm_proba is None:
+            # Reachable only when no label model exists (empty selection), so
+            # there is no fitted class prior to fall back to; the covered mask
+            # is all-False then and these rows are never adopted anyway.
             lm_proba = np.full((n_train, self.n_classes), 1.0 / self.n_classes)
 
         threshold = state.threshold if state.threshold is not None else 1.0
@@ -411,19 +418,64 @@ class ActiveDP:
 
     def _fit_label_model(self) -> None:
         state = self.state
-        selected = state.selection.selected_indices
+        selected = list(state.selection.selected_indices)
         if not selected:
             state.label_model = None
+            state.lm_fit_selection = None
             state.lm_proba_train = None
             state.lm_proba_valid = None
             return
         train_matrix = state.train_matrix.columns(selected)
-        state.label_model = get_label_model(self.config.label_model, n_classes=self.n_classes)
-        state.label_model.fit(train_matrix)
-        state.lm_proba_train = state.label_model.predict_proba(train_matrix)
-        state.lm_proba_valid = state.label_model.predict_proba(
+        model = state.label_model
+        # Columns are append-only, so an identical selection means the carried
+        # model was fitted on this exact matrix — EM from a converged fit is a
+        # no-op, skip it entirely (only forced refits land here unchanged).
+        reuse = (
+            self.config.warm_start_label_model
+            and model is not None
+            and state.lm_fit_selection == selected
+        )
+        if reuse and state.lm_proba_train is not None and state.lm_proba_valid is not None:
+            # The cached probabilities were computed from this exact model and
+            # matrix; recomputing them would reproduce them bit for bit.
+            return
+        if not reuse:
+            warm_start = self._label_model_warm_start(selected)
+            model = get_label_model(self.config.label_model, n_classes=self.n_classes)
+            model.fit(train_matrix, warm_start=warm_start)
+            state.label_model = model
+            state.lm_fit_selection = selected
+            state.lm_em_iterations += int(getattr(model, "n_iter_", 0) or 0)
+        state.lm_proba_train = model.predict_proba(train_matrix)
+        state.lm_proba_valid = model.predict_proba(
             state.valid_matrix.columns(selected)
         )
+
+    def _label_model_warm_start(self, selected: list[int]):
+        """Warm-start payload for fitting the *selected* columns, or ``None``.
+
+        The previous fit seeds the next one only when warm starts are enabled
+        and the new selection is a superset of the previous fit's — the
+        carried parameters then map onto the matching columns and brand-new
+        columns keep their cold initialisation.
+        """
+        if not self.config.warm_start_label_model:
+            return None
+        state = self.state
+        prev_model = state.label_model
+        prev_selection = state.lm_fit_selection
+        if prev_model is None or prev_selection is None:
+            return None
+        export = getattr(prev_model, "export_warm_start", None)
+        if export is None:
+            return None
+        previous_position = {lf: pos for pos, lf in enumerate(prev_selection)}
+        if not set(previous_position) <= set(selected):
+            return None
+        column_map = np.array(
+            [previous_position.get(lf, -1) for lf in selected], dtype=int
+        )
+        return export(column_map=column_map)
 
     def _fit_al_model(self) -> None:
         state = self.state
@@ -446,6 +498,9 @@ class ActiveDP:
             return
         lm_proba_valid = state.lm_proba_valid
         if lm_proba_valid is None:
+            # No label model (empty selection): no fitted class prior exists,
+            # and the covered mask below is all-False, so the uniform rows
+            # never reach the tuning objective.
             lm_proba_valid = np.full(
                 (len(self.valid), self.n_classes), 1.0 / self.n_classes
             )

@@ -36,7 +36,10 @@ class LabelPickResult:
     selected_indices:
         Indices (into the full LF list) of the selected LFs.
     pruned_low_accuracy:
-        Indices dropped by the accuracy-pruning step.
+        Indices that failed the accuracy-pruning step.  Normally disjoint
+        from ``selected_indices``, except in the keep-all fallback (every LF
+        failed pruning and all were resurrected), where both lists cover the
+        full LF set.
     pruned_structure:
         Indices dropped by the Markov-blanket step.
     used_structure_learning:
@@ -125,10 +128,13 @@ class LabelPick:
         )
         if not survivors:
             # Never silence the label model completely: if every LF fails the
-            # validation check, keep them all and let aggregation sort it out.
+            # validation check, keep them all and let aggregation sort it out
+            # — but still report which LFs failed the pruning step, so
+            # diagnostics don't claim nothing was pruned in exactly the case
+            # where everything was.
             return LabelPickResult(
                 selected_indices=list(range(n_lfs)),
-                pruned_low_accuracy=[],
+                pruned_low_accuracy=pruned_low,
             )
 
         if len(pseudo_labels) < self.min_queries or len(survivors) < 2:

@@ -26,6 +26,10 @@ class IterationRecord:
     threshold:
         ConFusion confidence threshold in effect (``None`` before the AL
         model exists).
+    lm_em_iterations:
+        Cumulative EM iterations spent on label-model (re)fits up to this
+        iteration (``None`` for pipelines that do not report it).  The
+        warm-start benchmark reads the final record's value.
     label_coverage:
         Fraction of the training pool that received an aggregated label.
     label_accuracy:
@@ -42,6 +46,7 @@ class IterationRecord:
     n_lfs: int = 0
     n_selected_lfs: int = 0
     threshold: float | None = None
+    lm_em_iterations: int | None = None
     label_coverage: float | None = None
     label_accuracy: float | None = None
     test_accuracy: float | None = None

@@ -47,6 +47,14 @@ class TrainingState:
         LabelPick's current LF subset.
     label_model, al_model:
         The fitted models (``None`` until first successful fit).
+    lm_fit_selection:
+        The LF indices (into ``lfs``) whose columns ``label_model`` was
+        fitted on.  Together with the carried model it lets the next refit
+        warm-start EM whenever the new selection is a superset of this one;
+        ``None`` until the first fit.
+    lm_em_iterations:
+        Cumulative EM iterations spent on label-model fits over the whole
+        run (diagnostics; the warm-start benchmark reads it).
     threshold:
         ConFusion confidence threshold (``None`` before the AL model exists).
     lm_proba_train, lm_proba_valid, al_proba_train, al_proba_valid:
@@ -72,6 +80,8 @@ class TrainingState:
         default_factory=lambda: LabelPickResult(selected_indices=[])
     )
     label_model: object | None = None
+    lm_fit_selection: list[int] | None = None
+    lm_em_iterations: int = 0
     al_model: object | None = None
     threshold: float | None = None
     lm_proba_train: np.ndarray | None = None

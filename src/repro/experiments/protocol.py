@@ -59,6 +59,18 @@ class EvaluationProtocol:
         if self.dataset_scale <= 0:
             raise ValueError("dataset_scale must be positive")
 
+    @classmethod
+    def paper(cls, **overrides) -> "EvaluationProtocol":
+        """The paper's full evaluation protocol (Section 4.1.3).
+
+        300 simulated interactions, downstream evaluation every 10
+        iterations, 5 seeds.  Keyword *overrides* replace individual fields
+        (e.g. ``dataset_scale`` to run the protocol on a scaled-down corpus).
+        """
+        params = {"n_iterations": 300, "eval_every": 10, "n_seeds": 5}
+        params.update(overrides)
+        return cls(**params)
+
     def evaluation_iterations(self) -> list[int]:
         """Iterations (1-based counts) at which the downstream model is evaluated."""
         points = list(range(self.eval_every, self.n_iterations + 1, self.eval_every))

@@ -6,13 +6,14 @@ alternatives (majority vote and an EM-trained generative model) so that the
 label-model choice can itself be ablated.
 """
 
-from repro.label_models.base import BaseLabelModel
+from repro.label_models.base import BaseLabelModel, LabelModelWarmStart
 from repro.label_models.majority_vote import MajorityVoteLabelModel
 from repro.label_models.generative import GenerativeLabelModel
 from repro.label_models.metal import MeTaLLabelModel
 
 __all__ = [
     "BaseLabelModel",
+    "LabelModelWarmStart",
     "MajorityVoteLabelModel",
     "GenerativeLabelModel",
     "MeTaLLabelModel",

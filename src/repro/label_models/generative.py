@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.label_models.base import BaseLabelModel
+from repro.label_models.base import BaseLabelModel, LabelModelWarmStart
 from repro.labeling.lf import ABSTAIN
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -71,11 +71,22 @@ class GenerativeLabelModel(BaseLabelModel):
         self.class_balance = class_balance
 
     # ------------------------------------------------------------------ fit
-    def fit(self, label_matrix: np.ndarray, **kwargs) -> "GenerativeLabelModel":
-        """Run EM to estimate the per-LF conditional probability tables."""
+    def fit(
+        self,
+        label_matrix: np.ndarray,
+        warm_start: LabelModelWarmStart | None = None,
+        **kwargs,
+    ) -> "GenerativeLabelModel":
+        """Run EM to estimate the per-LF conditional probability tables.
+
+        ``warm_start`` (a previous fit's :meth:`export_warm_start`) seeds the
+        initial responsibilities from the carried CPTs of every column the
+        payload's map covers; columns new to this fit receive their CPTs from
+        the first M-step under those responsibilities.  An inapplicable
+        payload falls back to the cold jittered-majority-vote start.
+        """
         matrix = self._validate_matrix(label_matrix)
         n_instances, n_lfs = matrix.shape
-        rng = ensure_rng(self.random_state)
 
         self.class_priors_ = (
             self.class_balance
@@ -85,19 +96,39 @@ class GenerativeLabelModel(BaseLabelModel):
         if n_lfs == 0 or n_instances == 0:
             self.cpts_ = np.zeros((n_lfs, self.n_classes, self.n_classes + 1))
             self.n_iter_ = 0
+            self.warm_started_ = False
             return self
 
         # Outcome encoding: column 0 = abstain, column 1+c = vote for class c.
         outcomes = self._encode(matrix)
 
-        # Initialise responsibilities from a slightly jittered majority vote so
-        # EM starts near a sensible solution.
-        responsibilities = self._initial_responsibilities(matrix, rng)
+        responsibilities = None
+        applicable = self._check_warm_start(warm_start, n_lfs)
+        if applicable is not None:
+            params, column_map = applicable
+            carried = np.asarray(params.get("cpts", np.empty((0,))), dtype=float)
+            if carried.ndim == 3 and carried.shape[1:] == (
+                self.n_classes,
+                self.n_classes + 1,
+            ):
+                mapped = column_map >= 0
+                responsibilities = self._posterior(
+                    outcomes[:, mapped], carried[column_map[mapped]]
+                )
+        self.warm_started_ = responsibilities is not None
+        # A warm initialisation is already a model posterior, so it is a valid
+        # convergence reference: a refit of an (almost) converged model can
+        # stop after a single EM iteration.  The cold jittered-majority-vote
+        # start is not a posterior, hence previous=None there.
+        previous = responsibilities
+        if responsibilities is None:
+            rng = ensure_rng(self.random_state)
+            responsibilities = self._initial_responsibilities(matrix, rng)
+
         self.n_iter_ = 0
-        previous = None
         for iteration in range(1, self.max_iter + 1):
             self.cpts_ = self._m_step(outcomes, responsibilities)
-            responsibilities = self._e_step(outcomes)
+            responsibilities = self._posterior(outcomes, self.cpts_)
             self.n_iter_ = iteration
             if previous is not None:
                 change = float(np.mean(np.abs(responsibilities - previous)))
@@ -118,10 +149,12 @@ class GenerativeLabelModel(BaseLabelModel):
                 f"fitted with {self.cpts_.shape[0]}"
             )
         if matrix.shape[1] == 0:
-            return self._uniform(matrix.shape[0])
-        proba = self._e_step(self._encode(matrix))
+            return self._prior_proba(matrix.shape[0])
+        proba = self._posterior(self._encode(matrix), self.cpts_)
+        # No LF fired: the posterior is the class prior, not blanket 1/C —
+        # a configured non-uniform class_balance must survive the fallback.
         uncovered = ~np.any(matrix != ABSTAIN, axis=1)
-        proba[uncovered] = 1.0 / self.n_classes
+        proba[uncovered] = self.class_priors_
         return proba
 
     # -------------------------------------------------- derived diagnostics
@@ -130,18 +163,10 @@ class GenerativeLabelModel(BaseLabelModel):
         """Per-LF accuracy conditional on firing, derived from the CPTs."""
         if not hasattr(self, "cpts_"):
             raise RuntimeError("GenerativeLabelModel is not fitted yet; call fit() first")
-        n_lfs = self.cpts_.shape[0]
-        result = np.zeros(n_lfs)
-        for j in range(n_lfs):
-            correct = 0.0
-            fired = 0.0
-            for y in range(self.n_classes):
-                weight = self.class_priors_[y]
-                fire_proba = 1.0 - self.cpts_[j, y, 0]
-                correct += weight * self.cpts_[j, y, 1 + y]
-                fired += weight * fire_proba
-            result[j] = correct / fired if fired > 0 else 0.5
-        return result
+        classes = np.arange(self.n_classes)
+        correct = self.cpts_[:, classes, 1 + classes] @ self.class_priors_
+        fired = (1.0 - self.cpts_[:, :, 0]) @ self.class_priors_
+        return np.where(fired > 0, correct / np.where(fired > 0, fired, 1.0), 0.5)
 
     @property
     def propensities_(self) -> np.ndarray:
@@ -167,26 +192,36 @@ class GenerativeLabelModel(BaseLabelModel):
         return counts / counts.sum(axis=1, keepdims=True)
 
     def _m_step(self, outcomes: np.ndarray, responsibilities: np.ndarray) -> np.ndarray:
+        """Responsibility-weighted outcome counts, one matmul per outcome.
+
+        The per-LF Python loop is replaced with ``n_classes + 1`` BLAS calls
+        of shape ``(n_lfs, n) @ (n, n_classes)`` — one EM iteration is plain
+        O(n * k * C) numpy work.
+        """
         n_lfs = outcomes.shape[1]
         n_outcomes = self.n_classes + 1
-        cpts = np.zeros((n_lfs, self.n_classes, n_outcomes))
-        for j in range(n_lfs):
-            for outcome in range(n_outcomes):
-                mask = outcomes[:, j] == outcome
-                cpts[j, :, outcome] = responsibilities[mask].sum(axis=0)
+        cpts = np.empty((n_lfs, self.n_classes, n_outcomes))
+        for outcome in range(n_outcomes):
+            cpts[:, :, outcome] = (outcomes == outcome).T.astype(float) @ responsibilities
         cpts += self.smoothing
         cpts /= cpts.sum(axis=2, keepdims=True)
         return cpts
 
-    def _e_step(self, outcomes: np.ndarray) -> np.ndarray:
-        n_instances, n_lfs = outcomes.shape
+    def _posterior(self, outcomes: np.ndarray, cpts: np.ndarray) -> np.ndarray:
+        """E-step under the given CPTs (vectorised, one matmul per outcome)."""
+        n_instances = outcomes.shape[0]
         log_proba = np.tile(
             np.log(np.clip(self.class_priors_, 1e-12, 1.0)), (n_instances, 1)
         )
-        log_cpts = np.log(np.clip(self.cpts_, 1e-12, 1.0))
-        for j in range(n_lfs):
-            log_proba += log_cpts[j, :, outcomes[:, j]]
+        log_cpts = np.log(np.clip(cpts, 1e-12, 1.0))
+        for outcome in range(self.n_classes + 1):
+            log_proba += (outcomes == outcome).astype(float) @ log_cpts[:, :, outcome]
         log_proba -= log_proba.max(axis=1, keepdims=True)
         proba = np.exp(log_proba)
         proba /= proba.sum(axis=1, keepdims=True)
         return proba
+
+    def _warm_start_params(self) -> dict | None:
+        if not hasattr(self, "cpts_") or self.cpts_.shape[0] == 0:
+            return None
+        return {"cpts": self.cpts_.copy()}

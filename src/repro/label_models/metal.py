@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.label_models.base import BaseLabelModel
+from repro.label_models.base import BaseLabelModel, LabelModelWarmStart
 from repro.labeling.lf import ABSTAIN
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -98,11 +98,23 @@ class MeTaLLabelModel(BaseLabelModel):
         self.class_balance = class_balance
 
     # ------------------------------------------------------------------ fit
-    def fit(self, label_matrix: np.ndarray, **kwargs) -> "MeTaLLabelModel":
-        """Estimate per-LF accuracies and class-conditional propensities by EM."""
+    def fit(
+        self,
+        label_matrix: np.ndarray,
+        warm_start: LabelModelWarmStart | None = None,
+        **kwargs,
+    ) -> "MeTaLLabelModel":
+        """Estimate per-LF accuracies and class-conditional propensities by EM.
+
+        ``warm_start`` (a previous fit's :meth:`export_warm_start`) seeds the
+        accuracies/propensities of every column the payload's map covers and
+        the initial responsibilities are the posterior under those carried
+        parameters; columns new to this fit keep the cold prior-accuracy /
+        marginal-firing initialisation.  An inapplicable payload falls back
+        to the cold jittered-majority-vote start.
+        """
         matrix = self._validate_matrix(label_matrix)
         n_instances, n_lfs = matrix.shape
-        rng = ensure_rng(self.random_state)
         self.n_lfs_ = n_lfs
         self.class_priors_ = (
             self.class_balance
@@ -113,14 +125,39 @@ class MeTaLLabelModel(BaseLabelModel):
             self.accuracies_ = np.zeros(0)
             self.propensities_ = np.zeros((0, self.n_classes))
             self.n_iter_ = 0
+            self.warm_started_ = False
             return self
 
         self.accuracies_ = np.full(n_lfs, self.prior_accuracy)
         marginal_fire = np.clip(np.mean(matrix != ABSTAIN, axis=0), 1e-3, 1.0)
         self.propensities_ = np.tile(marginal_fire[:, None], (1, self.n_classes))
 
-        responsibilities = self._initial_responsibilities(matrix, rng)
-        previous = None
+        responsibilities = None
+        applicable = self._check_warm_start(warm_start, n_lfs)
+        if applicable is not None:
+            params, column_map = applicable
+            carried_acc = np.asarray(params.get("accuracies", np.empty(0)), dtype=float)
+            carried_prop = np.asarray(
+                params.get("propensities", np.empty((0, 0))), dtype=float
+            )
+            if (
+                carried_acc.ndim == 1
+                and carried_prop.shape == (carried_acc.shape[0], self.n_classes)
+            ):
+                mapped = column_map >= 0
+                self.accuracies_[mapped] = carried_acc[column_map[mapped]]
+                self.propensities_[mapped] = carried_prop[column_map[mapped]]
+                responsibilities = self._posterior(matrix)
+        self.warm_started_ = responsibilities is not None
+        # A warm initialisation is already a model posterior, so it is a valid
+        # convergence reference: a refit of an (almost) converged model can
+        # stop after a single EM iteration.  The cold jittered-majority-vote
+        # start is not a posterior, hence previous=None there.
+        previous = responsibilities
+        if responsibilities is None:
+            rng = ensure_rng(self.random_state)
+            responsibilities = self._initial_responsibilities(matrix, rng)
+
         self.n_iter_ = 0
         for iteration in range(1, self.max_iter + 1):
             self._m_step(matrix, responsibilities)
@@ -145,10 +182,12 @@ class MeTaLLabelModel(BaseLabelModel):
                 f"fitted with {self.n_lfs_}"
             )
         if self.n_lfs_ == 0:
-            return self._uniform(matrix.shape[0])
+            return self._prior_proba(matrix.shape[0])
         proba = self._posterior(matrix)
+        # No LF fired: the posterior is the class prior, not blanket 1/C —
+        # a configured non-uniform class_balance must survive the fallback.
         uncovered = ~np.any(matrix != ABSTAIN, axis=1)
-        proba[uncovered] = 1.0 / self.n_classes
+        proba[uncovered] = self.class_priors_
         return proba
 
     # ------------------------------------------------------------- internals
@@ -162,49 +201,75 @@ class MeTaLLabelModel(BaseLabelModel):
         return counts / counts.sum(axis=1, keepdims=True)
 
     def _posterior(self, matrix: np.ndarray) -> np.ndarray:
-        """E-step: posterior over Y given votes, accuracies and propensities."""
+        """E-step: posterior over Y given votes, accuracies and propensities.
+
+        Vectorised over LFs *and* classes: the per-(LF, class) Python loops
+        are three matmuls plus one matvec per class, so one E-step is plain
+        O(n * k * C) numpy work.
+        """
         n_instances, n_lfs = matrix.shape
         wrong_share = 1.0 / max(self.n_classes - 1, 1)
+        acc = np.clip(self.accuracies_, 1e-6, 1 - 1e-6)
+        propensity = np.clip(self.propensities_, 1e-6, 1 - 1e-6)
+        log_acc = np.log(acc)
+        log_wrong = np.log((1.0 - acc) * wrong_share)
+        fired = (matrix != ABSTAIN).astype(float)
+
         log_proba = np.tile(
             np.log(np.clip(self.class_priors_, 1e-12, 1.0)), (n_instances, 1)
         )
-        for j in range(n_lfs):
-            acc = float(np.clip(self.accuracies_[j], 1e-6, 1 - 1e-6))
-            votes = matrix[:, j]
-            fired = votes != ABSTAIN
-            for cls in range(self.n_classes):
-                propensity = float(np.clip(self.propensities_[j, cls], 1e-6, 1 - 1e-6))
-                agree = fired & (votes == cls)
-                disagree = fired & (votes != cls)
-                log_proba[~fired, cls] += np.log(1.0 - propensity)
-                log_proba[agree, cls] += np.log(propensity * acc)
-                log_proba[disagree, cls] += np.log(propensity * (1.0 - acc) * wrong_share)
+        # Abstaining LFs contribute P(not fire | Y=cls)...
+        log_proba += (1.0 - fired) @ np.log(1.0 - propensity)
+        # ...fired LFs contribute the propensity factor and (for now) the
+        # disagree weight under every class hypothesis...
+        log_proba += fired @ (np.log(propensity) + log_wrong[:, None])
+        # ...and the voted class swaps its disagree weight for the agree one.
+        agree_minus_wrong = log_acc - log_wrong
+        for cls in range(self.n_classes):
+            log_proba[:, cls] += (matrix == cls).astype(float) @ agree_minus_wrong
         log_proba -= log_proba.max(axis=1, keepdims=True)
         proba = np.exp(log_proba)
         proba /= proba.sum(axis=1, keepdims=True)
         return proba
 
     def _m_step(self, matrix: np.ndarray, responsibilities: np.ndarray) -> None:
-        """M-step: re-estimate accuracies (clamped) and class-conditional propensities."""
-        n_instances, n_lfs = matrix.shape
+        """M-step: re-estimate accuracies (clamped) and class-conditional propensities.
+
+        Vectorised over LFs: the fired-vote masses are one ``(k, n) @ (n, C)``
+        matmul and the agreement weights one ``take_along_axis`` gather.
+        """
         low, high = self.accuracy_bounds
+        fired = matrix != ABSTAIN
+        fired_f = fired.astype(float)
         class_mass = responsibilities.sum(axis=0) + 1e-12
-        for j in range(n_lfs):
-            votes = matrix[:, j]
-            fired = votes != ABSTAIN
-            fired_mass = responsibilities[fired].sum(axis=0)
-            self.propensities_[j] = np.clip(
-                (fired_mass + self.smoothing * 0.1) / (class_mass + self.smoothing * 0.2),
-                1e-4,
-                1.0 - 1e-4,
-            )
-            if not np.any(fired):
-                self.accuracies_[j] = self.prior_accuracy
-                continue
-            agree_weight = responsibilities[np.arange(n_instances), np.clip(votes, 0, None)]
-            expected_correct = float(np.sum(agree_weight[fired]))
-            total = float(np.sum(responsibilities[fired]))
-            accuracy = (expected_correct + self.smoothing * self.prior_accuracy) / (
-                total + self.smoothing
-            )
-            self.accuracies_[j] = float(np.clip(accuracy, low, high))
+        fired_mass = fired_f.T @ responsibilities
+        self.propensities_ = np.clip(
+            (fired_mass + self.smoothing * 0.1)
+            / (class_mass[None, :] + self.smoothing * 0.2),
+            1e-4,
+            1.0 - 1e-4,
+        )
+        # responsibilities[i, votes[i, j]] for every (instance, LF) pair; the
+        # clip only feeds abstains a valid index, their weight is masked out.
+        agree_weight = np.take_along_axis(
+            responsibilities, np.clip(matrix, 0, None), axis=1
+        )
+        expected_correct = (fired_f * agree_weight).sum(axis=0)
+        total = fired_mass.sum(axis=1)
+        accuracy = np.clip(
+            (expected_correct + self.smoothing * self.prior_accuracy)
+            / (total + self.smoothing),
+            low,
+            high,
+        )
+        # LFs that never fire carry no evidence; keep the prior accuracy.
+        accuracy[~fired.any(axis=0)] = self.prior_accuracy
+        self.accuracies_ = accuracy
+
+    def _warm_start_params(self) -> dict | None:
+        if not hasattr(self, "accuracies_") or self.accuracies_.shape[0] == 0:
+            return None
+        return {
+            "accuracies": self.accuracies_.copy(),
+            "propensities": self.propensities_.copy(),
+        }

@@ -73,6 +73,31 @@ class TestActiveDPPipeline:
         pipeline = ActiveDPPipeline(tiny_tabular_split, random_state=0)
         assert pipeline.config.alpha == 0.99
 
+    def test_config_overrides_replace_single_fields(self, tiny_text_split):
+        pipeline = ActiveDPPipeline(
+            tiny_text_split,
+            random_state=0,
+            config_overrides={"warm_start_label_model": False, "retrain_every": 3},
+        )
+        # Overrides land on top of the per-kind defaults.
+        assert pipeline.config.alpha == 0.5
+        assert not pipeline.config.warm_start_label_model
+        assert pipeline.config.retrain_every == 3
+
+    def test_config_overrides_compose_with_explicit_config(self, tiny_text_split):
+        from repro.core import ActiveDPConfig
+        config = ActiveDPConfig.for_dataset_kind("text", sampler="passive")
+        pipeline = ActiveDPPipeline(
+            tiny_text_split,
+            random_state=0,
+            config=config,
+            config_overrides={"warm_start_label_model": False},
+        )
+        assert pipeline.framework.sampler.name == "passive"
+        assert not pipeline.config.warm_start_label_model
+        # The caller's config object is not mutated.
+        assert config.warm_start_label_model
+
     def test_accumulates_labels_over_iterations(self, tiny_text_split):
         pipeline = ActiveDPPipeline(tiny_text_split, random_state=0)
         pipeline.run(4)

@@ -99,6 +99,72 @@ class TestThresholdTuning:
         assert 0.0 <= result.threshold <= 1.0
 
 
+def _tune_threshold_naive(confusion, al_proba, lm_proba, covered, y_valid):
+    """The original O(U * n) reference: one full aggregate per candidate."""
+    from repro.models.metrics import accuracy_score
+
+    y_valid = np.asarray(y_valid, dtype=int)
+    best_threshold = 0.0
+    best_score = -np.inf
+    for threshold in confusion.candidate_thresholds(al_proba):
+        aggregated = confusion.aggregate(al_proba, lm_proba, covered, threshold)
+        if confusion.objective == "accuracy":
+            if not np.any(aggregated.accepted):
+                score = 0.0
+            else:
+                score = accuracy_score(
+                    y_valid[aggregated.accepted],
+                    aggregated.labels[aggregated.accepted],
+                )
+        else:
+            score = aggregated.coverage
+        if score > best_score + 1e-12:
+            best_score = score
+            best_threshold = float(threshold)
+    return best_threshold
+
+
+class TestSweepMatchesNaiveTuning:
+    @pytest.mark.parametrize("objective", ["accuracy", "coverage"])
+    def test_fixed_case(self, objective):
+        y_valid = np.array([0, 1, 0, 1])
+        confusion = ConFusion(objective=objective)
+        assert confusion.tune_threshold(AL, LM, COVERED, y_valid) == pytest.approx(
+            _tune_threshold_naive(confusion, AL, LM, COVERED, y_valid)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.sampled_from(["accuracy", "coverage"]),
+        st.booleans(),
+    )
+    def test_random_cases(self, n, seed, objective, tie_heavy):
+        """The incremental sweep picks exactly the naive loop's threshold."""
+        rng = np.random.default_rng(seed)
+        if tie_heavy:
+            # Quantised probabilities produce many duplicate confidences and
+            # exact score ties, stressing the tie-breaking path.
+            al = rng.integers(1, 5, size=(n, 2)).astype(float)
+            al /= al.sum(axis=1, keepdims=True)
+        else:
+            al = rng.dirichlet([1.0, 1.0], size=n)
+        lm = rng.dirichlet([1.0, 1.0], size=n)
+        covered = rng.random(n) < 0.6
+        y_valid = rng.integers(0, 2, n)
+        confusion = ConFusion(objective=objective)
+        fast = confusion.tune_threshold(al, lm, covered, y_valid)
+        naive = _tune_threshold_naive(confusion, al, lm, covered, y_valid)
+        assert fast == naive
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ConFusion().tune_threshold(AL, LM[:2], COVERED, np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            ConFusion().tune_threshold(AL, LM, COVERED[:2], np.zeros(4, dtype=int))
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.integers(min_value=1, max_value=40),

@@ -48,6 +48,9 @@ class TestAccuracyPruning:
             np.empty((0, 2), dtype=int), np.array([], dtype=int), 2,
         )
         assert result.selected_indices == [0, 1]
+        # The keep-all fallback must still report what failed pruning —
+        # claiming nothing was pruned when everything was is a reporting bug.
+        assert result.pruned_low_accuracy == [0, 1]
 
 
 class TestStructureSelection:

@@ -29,6 +29,19 @@ class TestEvaluationProtocol:
         with pytest.raises(ValueError):
             EvaluationProtocol(**kwargs)
 
+    def test_paper_preset_matches_section_4(self):
+        protocol = EvaluationProtocol.paper()
+        assert protocol.n_iterations == 300
+        assert protocol.eval_every == 10
+        assert protocol.n_seeds == 5
+        assert protocol.evaluation_iterations()[:2] == [10, 20]
+
+    def test_paper_preset_accepts_overrides(self):
+        protocol = EvaluationProtocol.paper(dataset_scale=0.2, n_seeds=2)
+        assert protocol.n_iterations == 300
+        assert protocol.n_seeds == 2
+        assert protocol.dataset_scale == 0.2
+
 
 class TestRunSingleSeed:
     def test_history_has_expected_evaluation_points(self, tiny_text_split):
