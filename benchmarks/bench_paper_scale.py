@@ -1,10 +1,13 @@
-"""Benchmark EXP-PS: paper-scale protocol runs with warm-started label-model refits.
+"""Benchmark EXP-PS: paper-scale protocol runs with warm-started refits.
 
-Runs the same ActiveDP grid twice through the experiment engine — once with
-``warm_start_label_model=False`` (the historical cold-start-EM behaviour)
-and once with warm starts enabled — and reports wall-clock plus the total
-number of EM iterations spent on label-model refits, asserting the headline
-metric stays within tolerance.
+Runs the same ActiveDP grid through the experiment engine once per warm-start
+variant — all knobs off (the historical cold-start behaviour), then
+incrementally enabling intersection-mapped label-model warm starts,
+incremental LabelPick (glasso resumed from the previous precision estimate)
+and AL-model warm starts — and reports wall-clock, total EM iterations and
+the *warm-refit rate* (fraction of post-first fits that were warm-started),
+asserting the headline metric stays within tolerance and that warm starts
+actually engage.
 
 Scaled down by default so it completes in about a minute; environment
 variables restore the paper's protocol:
@@ -13,11 +16,14 @@ variables restore the paper's protocol:
   verbatim (300 iterations x 5 seeds, full-size corpora);
 * ``REPRO_PAPER_BENCH_ITERATIONS``    labelling budget (default 30);
 * ``REPRO_PAPER_BENCH_SEEDS``         repetitions (default 1);
-* ``REPRO_PAPER_BENCH_SCALE``         dataset scale factor (default 0.3).
+* ``REPRO_PAPER_BENCH_SCALE``         dataset scale factor (default 0.3);
+* ``REPRO_PAPER_BENCH_MIN_WARM_RATE`` floor asserted on the all-warm
+  variant's label-model warm-refit rate (default 0.5; CI uses it to guard
+  against silent regressions to cold starts).
 
 The engine's ``--workers`` / ``--cache-dir`` / ``--no-cache`` options apply
-as in every other benchmark (warm and cold variants hash to distinct cache
-entries through their ``pipeline_kwargs``).
+as in every other benchmark (each variant hashes to distinct cache entries
+through its ``pipeline_kwargs``).
 """
 
 from __future__ import annotations
@@ -31,9 +37,33 @@ from repro.experiments import EvaluationProtocol
 from repro.runner.engine import GridJob, run_experiment_grid
 
 #: Headline-metric tolerance between warm- and cold-start runs.  Warm starts
-#: change the EM trajectory, not the model, so the average test accuracy must
-#: agree to within a few points.
+#: change the optimisation trajectories, not the models, so the average test
+#: accuracy must agree to within a few points.
 ACCURACY_TOLERANCE = 0.05
+
+#: The warm-start grid: each variant toggles the three ActiveDPConfig knobs.
+VARIANTS = {
+    "cold": {
+        "warm_start_label_model": False,
+        "warm_start_labelpick": False,
+        "warm_start_al_model": False,
+    },
+    "warm-lm": {
+        "warm_start_label_model": True,
+        "warm_start_labelpick": False,
+        "warm_start_al_model": False,
+    },
+    "warm-lm+lp": {
+        "warm_start_label_model": True,
+        "warm_start_labelpick": True,
+        "warm_start_al_model": False,
+    },
+    "warm-all": {
+        "warm_start_label_model": True,
+        "warm_start_labelpick": True,
+        "warm_start_al_model": True,
+    },
+}
 
 
 @pytest.fixture(scope="module")
@@ -50,39 +80,62 @@ def paper_protocol() -> EvaluationProtocol:
     )
 
 
-def _total_em_iterations(results) -> int:
-    """Sum the final cumulative EM-iteration counters across all trials."""
-    total = 0
+def _final_records(results):
+    """The last iteration record of every trial in a grid result dict."""
     for result in results.values():
         for history in result.histories:
-            counters = [
-                record.lm_em_iterations
-                for record in history.records
-                if record.lm_em_iterations is not None
-            ]
-            if counters:
-                total += counters[-1]
-    return total
+            if history.records:
+                yield history.records[-1]
+
+
+def _total_em_iterations(results) -> int:
+    """Sum the final cumulative EM-iteration counters across all trials."""
+    return sum(
+        record.lm_em_iterations
+        for record in _final_records(results)
+        if record.lm_em_iterations is not None
+    )
+
+
+def _warm_rates(results) -> dict[str, tuple[float, int]]:
+    """``(warm-refit rate, post-first fits)`` per model family.
+
+    The rate is warm fits / post-first fits: the first fit of a run is
+    necessarily cold, so it is excluded from the denominator — a rate of
+    1.0 means *every* refit after the first was warm-started.  The
+    denominator is returned too so callers can skip rate assertions for
+    families that never refit (e.g. glasso on very short protocols).
+    """
+    totals = {"lm": [0, 0], "al": [0, 0], "glasso": [0, 0]}
+    for record in _final_records(results):
+        for family in totals:
+            fits = getattr(record, f"{family}_fits")
+            warm = getattr(record, f"{family}_warm_fits")
+            if fits is None or warm is None:
+                continue
+            totals[family][0] += warm
+            totals[family][1] += max(fits - 1, 0)
+    return {
+        family: ((warm / post_first if post_first else 0.0), post_first)
+        for family, (warm, post_first) in totals.items()
+    }
 
 
 def test_paper_scale_warm_vs_cold(
     benchmark, paper_protocol, smallest_bench_dataset, bench_execution
 ):
     """Warm-started refits must cut EM work without moving the headline metric."""
-    variants = {"cold": False, "warm": True}
 
     def run():
         results = {}
         timings = {}
-        for variant, warm in variants.items():
+        for variant, knobs in VARIANTS.items():
             jobs = [
                 GridJob(
                     key=(variant, smallest_bench_dataset),
                     framework="activedp",
                     dataset=smallest_bench_dataset,
-                    pipeline_kwargs={
-                        "config_overrides": {"warm_start_label_model": warm}
-                    },
+                    pipeline_kwargs={"config_overrides": dict(knobs)},
                 )
             ]
             start = time.perf_counter()
@@ -95,11 +148,12 @@ def test_paper_scale_warm_vs_cold(
     results, timings = benchmark.pedantic(run, rounds=1, iterations=1)
 
     summary = {}
-    for variant in variants:
+    for variant in VARIANTS:
         cell = results[variant][(variant, smallest_bench_dataset)]
         summary[variant] = {
             "accuracy": cell.average_accuracy,
             "em_iterations": _total_em_iterations(results[variant]),
+            "rates": _warm_rates(results[variant]),
             "seconds": timings[variant],
         }
 
@@ -108,16 +162,46 @@ def test_paper_scale_warm_vs_cold(
         f"({paper_protocol.n_iterations} iterations x {paper_protocol.n_seeds} seed(s)):"
     )
     for variant, row in summary.items():
+        rates = row["rates"]
         print(
-            f"  {variant:5s} avg_acc={row['accuracy']:.4f} "
+            f"  {variant:10s} avg_acc={row['accuracy']:.4f} "
             f"em_iterations={row['em_iterations']:6d} "
+            f"warm_rate(lm/glasso/al)={rates['lm'][0]:.2f}/"
+            f"{rates['glasso'][0]:.2f}/{rates['al'][0]:.2f} "
             f"wall={row['seconds']:.2f}s"
         )
 
-    # Warm starts must not spend more EM iterations than cold starts, and the
-    # headline metric must agree within tolerance.
-    assert summary["warm"]["em_iterations"] <= summary["cold"]["em_iterations"]
-    assert (
-        abs(summary["warm"]["accuracy"] - summary["cold"]["accuracy"])
-        <= ACCURACY_TOLERANCE
-    )
+    # The headline metric must agree within tolerance across every variant.
+    # EM-iteration totals are not a strict per-fit ordering: an
+    # intersection-mapped seed can occasionally start farther from the new
+    # optimum than the cold init, and the labelpick/AL knobs change the run
+    # trajectory up to solver tolerance — so every warm variant gets a small
+    # slack factor rather than a hard <= (measured headroom is ~0.7x).
+    for variant in VARIANTS:
+        if variant == "cold":
+            continue
+        assert (
+            abs(summary[variant]["accuracy"] - summary["cold"]["accuracy"])
+            <= ACCURACY_TOLERANCE
+        )
+        slack = 1.05 if variant == "warm-lm" else 1.25
+        assert (
+            summary[variant]["em_iterations"]
+            <= slack * summary["cold"]["em_iterations"]
+        )
+
+    # With all knobs off, nothing may warm-start; with them on, warm refits
+    # must actually engage (> 0 guards CI against silent cold-start
+    # regressions; the env floor pins the measured rate).  Families that
+    # never refit on very short protocols (post-first fits = 0) are skipped.
+    cold_rates = summary["cold"]["rates"]
+    assert all(rate == 0.0 for rate, _ in cold_rates.values())
+    all_rates = summary["warm-all"]["rates"]
+    for family in ("lm", "glasso", "al"):
+        rate, post_first = all_rates[family]
+        if post_first:
+            assert rate > 0.0
+    min_warm_rate = float(os.environ.get("REPRO_PAPER_BENCH_MIN_WARM_RATE", 0.5))
+    lm_rate, lm_post_first = all_rates["lm"]
+    if lm_post_first:
+        assert lm_rate >= min_warm_rate

@@ -89,3 +89,7 @@ class ActiveDPPipeline(InteractivePipeline):
         """ConFusion-aggregated training labels (indices, hard labels)."""
         indices, labels, _ = self.framework.generate_labels()
         return indices, labels
+
+    def refit_counters(self) -> dict:
+        """Cumulative fit counters (including evaluation-time flush refits)."""
+        return self.framework.state.fit_counters()

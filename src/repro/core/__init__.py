@@ -12,7 +12,7 @@ accuracy *and* coverage.
 from repro.active_learning.adp import ADPSampler
 from repro.core.config import ActiveDPConfig
 from repro.core.confusion import AggregatedLabels, ConFusion
-from repro.core.labelpick import LabelPick, LabelPickResult
+from repro.core.labelpick import LabelPick, LabelPickResult, LabelPickState
 from repro.core.pseudo_labels import PseudoLabeledSet
 from repro.core.results import IterationRecord, RunHistory
 from repro.core.state import TrainingState
@@ -27,6 +27,7 @@ __all__ = [
     "AggregatedLabels",
     "LabelPick",
     "LabelPickResult",
+    "LabelPickState",
     "PseudoLabeledSet",
     "IterationRecord",
     "RunHistory",

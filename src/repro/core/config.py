@@ -42,13 +42,27 @@ class ActiveDPConfig:
         Retrain the AL model and label model every this many iterations
         (1 reproduces the paper exactly; larger values speed up long runs).
     warm_start_label_model:
-        Seed each label-model refit with the previous fit's parameters
-        whenever the newly selected LF subset is a superset of the one the
-        previous fit was trained on (the append-only column store makes that
-        the common case).  ``False`` keeps the historical semantics: every
-        refit runs EM from a cold start and never consults the previous fit
-        (numerically the vectorised EM agrees with the old per-LF loops to
-        ~1e-14, not bit for bit).
+        Seed each label-model refit with the previous fit's parameters,
+        intersection-mapped onto the new selection: every selected LF the
+        previous fit covered starts EM at its converged parameters and
+        brand-new LFs keep the cold initialisation (any overlap qualifies —
+        supersets, subsets and partial churn alike).  ``False`` keeps the
+        historical semantics: every refit runs EM from a cold start and
+        never consults the previous fit (numerically the vectorised EM
+        agrees with the old per-LF loops to ~1e-14, not bit for bit).
+    warm_start_labelpick:
+        Make LabelPick's structure learning incremental: the query-set
+        covariance is maintained by appending only the new rows/columns and
+        the graphical lasso resumes from the previous refit's estimate
+        (shared survivors intersection-mapped).  The optimisation problem is
+        unchanged — the estimate agrees with a cold start up to solver
+        tolerance, not bit for bit.  ``False`` restarts structure learning
+        from scratch on every refit (historical semantics, exactly).
+    warm_start_al_model:
+        Seed each active-learning-model refit (L-BFGS logistic regression)
+        with the previous fit's coefficients.  The objective is convex, so
+        only the optimiser trajectory changes.  ``False`` starts every refit
+        from zero coefficients (historical semantics, exactly).
     min_labelpick_queries:
         Minimum number of pseudo-labelled query instances before the
         graphical-lasso structure learning is attempted (before that, only
@@ -65,6 +79,8 @@ class ActiveDPConfig:
     al_model_C: float = 1.0
     retrain_every: int = 1
     warm_start_label_model: bool = True
+    warm_start_labelpick: bool = True
+    warm_start_al_model: bool = True
     min_labelpick_queries: int = 8
     sampler_kwargs: dict = field(default_factory=dict)
 

@@ -143,12 +143,15 @@ class ConFusion:
         objective, matching the paper.  Ties are broken toward the *smallest*
         threshold so that, all else equal, the more-covering aggregation wins.
 
-        A single sorted-confidence sweep computes every candidate's objective
-        from prefix sums — O((n + U) log n) for U unique confidences instead
-        of the naive O(U * n) full re-aggregation per candidate.  Raising the
-        threshold past a confidence value only moves that instance from the
-        AL side to the LM-or-rejected side, so each candidate's correct and
-        accepted counts are cumulative functions of the sort position.
+        The swept candidate set is exactly :meth:`candidate_thresholds` (the
+        public method is the single source of truth, so callers inspecting it
+        see precisely what tuning considers).  A single sorted-confidence
+        sweep computes every candidate's objective from prefix sums —
+        O((n + U) log n) for U unique confidences instead of the naive
+        O(U * n) full re-aggregation per candidate.  Raising the threshold
+        past a confidence value only moves that instance from the AL side to
+        the LM-or-rejected side, so each candidate's correct and accepted
+        counts are cumulative functions of the sort position.
         """
         al_proba_valid = check_probability_matrix(al_proba_valid, "al_proba_valid")
         lm_proba_valid = check_probability_matrix(lm_proba_valid, "lm_proba_valid")
@@ -173,7 +176,7 @@ class ConFusion:
         prefix_lm_correct = np.concatenate([[0], np.cumsum(lm_correct[order])])
         prefix_al_correct = np.concatenate([[0], np.cumsum(al_correct[order])])
 
-        candidates = np.unique(np.concatenate([[0.0], confidence_sorted, [1.0]]))
+        candidates = self.candidate_thresholds(al_proba_valid)
         split = np.searchsorted(confidence_sorted, candidates, side="left")
         n_al = n_instances - split
         n_correct = (prefix_al_correct[-1] - prefix_al_correct[split]) + prefix_lm_correct[split]

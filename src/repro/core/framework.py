@@ -196,7 +196,7 @@ class ActiveDP:
             n_lfs=len(state.lfs),
             n_selected_lfs=len(state.selection.selected_indices),
             threshold=state.threshold,
-            lm_em_iterations=state.lm_em_iterations,
+            **state.fit_counters(),
         )
         state.iteration += 1
         return record
@@ -288,8 +288,20 @@ class ActiveDP:
         Depending on the configuration's ablation switches this degrades to
         label-model-only labels (``use_confusion=False``) or AL-model-only
         labels (no LFs collected yet).
+
+        Aggregation always reflects *all* collected LFs and pseudo-labels:
+        with ``retrain_every > 1`` the models may be stale between training
+        refits, so any dirty state is flushed (a regular :meth:`refit`)
+        before aggregating.  With ``retrain_every=1`` the state is never
+        dirty here and behaviour is unchanged.  Note that the flush updates
+        the live state, so with sparse retraining an evaluation point acts
+        as an extra retrain boundary — subsequent query selection sees the
+        refreshed models (deterministic per protocol; the eval cadence is
+        part of the trial description).
         """
         state = self.state
+        if state.lfs_dirty or state.pseudo_dirty:
+            self.refit()
         n_train = len(self.train)
         lm_proba = state.lm_proba_train
         al_proba = state.al_proba_train
@@ -414,6 +426,7 @@ class ActiveDP:
             query_matrix,
             state.pseudo.labels,
             self.n_classes,
+            state=state.labelpick if self.config.warm_start_labelpick else None,
         )
 
     def _fit_label_model(self) -> None:
@@ -446,6 +459,9 @@ class ActiveDP:
             state.label_model = model
             state.lm_fit_selection = selected
             state.lm_em_iterations += int(getattr(model, "n_iter_", 0) or 0)
+            state.lm_fits += 1
+            if getattr(model, "warm_started_", False):
+                state.lm_warm_fits += 1
         state.lm_proba_train = model.predict_proba(train_matrix)
         state.lm_proba_valid = model.predict_proba(
             state.valid_matrix.columns(selected)
@@ -454,10 +470,13 @@ class ActiveDP:
     def _label_model_warm_start(self, selected: list[int]):
         """Warm-start payload for fitting the *selected* columns, or ``None``.
 
-        The previous fit seeds the next one only when warm starts are enabled
-        and the new selection is a superset of the previous fit's — the
-        carried parameters then map onto the matching columns and brand-new
-        columns keep their cold initialisation.
+        The previous fit seeds the next one whenever warm starts are enabled
+        and the selections *intersect*: every selected column the previous
+        fit covered maps onto its carried parameters and brand-new columns
+        keep their cold initialisation.  Columns the previous fit covered
+        but the new selection dropped simply fall out of the map — LabelPick
+        churn (supersets, subsets, partial swaps) no longer forces a cold
+        start.
         """
         if not self.config.warm_start_label_model:
             return None
@@ -470,11 +489,12 @@ class ActiveDP:
         if export is None:
             return None
         previous_position = {lf: pos for pos, lf in enumerate(prev_selection)}
-        if not set(previous_position) <= set(selected):
-            return None
         column_map = np.array(
             [previous_position.get(lf, -1) for lf in selected], dtype=int
         )
+        if not np.any(column_map >= 0):
+            # Disjoint selections: nothing to carry over.
+            return None
         return export(column_map=column_map)
 
     def _fit_al_model(self) -> None:
@@ -484,12 +504,39 @@ class ActiveDP:
             state.al_proba_train = None
             state.al_proba_valid = None
             return
-        state.al_model = LogisticRegression(
-            C=self.config.al_model_C, n_classes=self.n_classes
+        model = LogisticRegression(C=self.config.al_model_C, n_classes=self.n_classes)
+        coef_init, intercept_init = self._al_model_warm_start()
+        model.fit(
+            state.pseudo.features(self.train),
+            state.pseudo.labels,
+            coef_init=coef_init,
+            intercept_init=intercept_init,
         )
-        state.al_model.fit(state.pseudo.features(self.train), state.pseudo.labels)
-        state.al_proba_train = state.al_model.predict_proba(self.train.features)
-        state.al_proba_valid = state.al_model.predict_proba(self.valid.features)
+        state.al_fits += 1
+        if getattr(model, "warm_started_", False):
+            state.al_warm_fits += 1
+        state.al_model = model
+        state.al_proba_train = model.predict_proba(self.train.features)
+        state.al_proba_valid = model.predict_proba(self.valid.features)
+
+    def _al_model_warm_start(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Previous AL-model coefficients seeding the next L-BFGS run, if any.
+
+        Only a genuinely fitted previous model qualifies — the degenerate
+        single-class fallback carries zero coefficients, which *is* the cold
+        initialisation.  Shape mismatches are handled (ignored) by
+        ``LogisticRegression.fit`` itself.
+        """
+        if not self.config.warm_start_al_model:
+            return None, None
+        prev = self.state.al_model
+        if prev is None or getattr(prev, "_constant_class", None) is not None:
+            return None, None
+        coef = getattr(prev, "coef_", None)
+        intercept = getattr(prev, "intercept_", None)
+        if coef is None:
+            return None, None
+        return coef, intercept
 
     def _tune_threshold(self) -> None:
         state = self.state

@@ -14,6 +14,14 @@ When too few query instances have been collected for structure learning to
 be meaningful, only the accuracy-pruning step applies (all surviving LFs are
 kept), and if the estimated blanket is empty the pruned set is likewise kept
 — pruning to zero LFs would silence the label model entirely.
+
+Interactive frameworks re-run LabelPick every refit on an almost-unchanged
+input (the query set gained a few rows, the LF set a column).  Passing a
+:class:`LabelPickState` to :meth:`LabelPick.select` makes the structure-
+learning step incremental: the empirical covariance is maintained by a
+row/column-appending :class:`~repro.graphical.covariance.RunningCovariance`
+and the graphical lasso resumes from the previous refit's estimate
+(intersection-mapped over the shared survivors) instead of restarting cold.
 """
 
 from __future__ import annotations
@@ -22,7 +30,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.graphical.glasso import graphical_lasso
+from repro.graphical.covariance import RunningCovariance, shrink_covariance
+from repro.graphical.glasso import GraphicalLassoResult, graphical_lasso
 from repro.graphical.markov_blanket import markov_blanket
 from repro.labeling.lf import ABSTAIN, LabelFunction
 
@@ -54,6 +63,40 @@ class LabelPickResult:
     def select(self, lfs: list[LabelFunction]) -> list[LabelFunction]:
         """Return the selected subset of *lfs*."""
         return [lfs[i] for i in self.selected_indices]
+
+
+@dataclass
+class LabelPickState:
+    """Carried structure-learning state for incremental LabelPick refits.
+
+    Owned by the caller (ActiveDP keeps one inside its ``TrainingState``) and
+    mutated by :meth:`LabelPick.select` when passed in.  All fields refer to
+    the *same* run: the accumulator's column layout is ``[pseudo-label,
+    LF_0, LF_1, ...]`` over the pseudo-labelled query rows, both append-only.
+
+    Attributes
+    ----------
+    covariance:
+        Incrementally maintained empirical covariance of LF outputs and the
+        pseudo-label on the query instances (``None`` until structure
+        learning first runs).
+    glasso_result:
+        The previous refit's graphical-lasso estimate, seeding the next one.
+    glasso_survivors:
+        LF indices (into the full LF list) of the variables
+        ``glasso_result`` was estimated over, in order (the pseudo-label is
+        always the implicit last variable).
+    n_fits, n_warm_fits:
+        How many graphical-lasso fits ran, and how many of them resumed from
+        a previous estimate (diagnostics; the warm-start benchmark reads
+        them).
+    """
+
+    covariance: RunningCovariance | None = None
+    glasso_result: GraphicalLassoResult | None = None
+    glasso_survivors: list[int] | None = None
+    n_fits: int = 0
+    n_warm_fits: int = 0
 
 
 class LabelPick:
@@ -94,6 +137,7 @@ class LabelPick:
         query_label_matrix: np.ndarray,
         pseudo_labels: np.ndarray,
         n_classes: int,
+        state: LabelPickState | None = None,
     ) -> LabelPickResult:
         """Run both LabelPick stages and return the selection result.
 
@@ -111,6 +155,11 @@ class LabelPick:
             Pseudo-labels of the query instances.
         n_classes:
             Number of classes in the task.
+        state:
+            Optional carried :class:`LabelPickState` making the structure-
+            learning step incremental across calls of the *same* run (rows
+            and LF columns append-only).  ``None`` (default) keeps every
+            call independent and cold-started.
         """
         n_lfs = len(lfs)
         if n_lfs == 0:
@@ -144,7 +193,7 @@ class LabelPick:
             )
 
         selected, pruned_structure = self._markov_blanket_select(
-            survivors, query_label_matrix, pseudo_labels
+            survivors, query_label_matrix, pseudo_labels, state
         )
         if not selected:
             return LabelPickResult(
@@ -183,11 +232,19 @@ class LabelPick:
         pruned = np.flatnonzero(pruned_mask).tolist()
         return survivors, pruned
 
+    #: Identity shrinkage applied to the query-set covariance before the
+    #: graphical lasso (the labelled subset is tiny early in a run).
+    COV_SHRINKAGE = 0.1
+    #: Outer-sweep budget and tolerance of the per-refit graphical lasso.
+    GLASSO_MAX_ITER = 20
+    GLASSO_TOL = 1e-3
+
     def _markov_blanket_select(
         self,
         survivors: list[int],
         query_label_matrix: np.ndarray,
         pseudo_labels: np.ndarray,
+        state: LabelPickState | None = None,
     ) -> tuple[list[int], list[int]]:
         """Keep survivors adjacent to the label in the glasso dependency graph."""
         data = np.column_stack([
@@ -195,16 +252,86 @@ class LabelPick:
             np.asarray(pseudo_labels, dtype=float),
         ])
         # Degenerate columns (constant output on every query instance) make
-        # the covariance singular; the shrinkage inside graphical_lasso
-        # handles that, but a fully constant matrix carries no structure.
+        # the covariance singular; the shrinkage applied below handles that,
+        # but a fully constant matrix carries no structure.
         if np.allclose(data.std(axis=0), 0.0):
             return list(survivors), []
 
-        result = graphical_lasso(
-            data, alpha=self.glasso_alpha, shrinkage=0.1, max_iter=20, tol=1e-3
-        )
+        if state is None:
+            result = graphical_lasso(
+                data,
+                alpha=self.glasso_alpha,
+                shrinkage=self.COV_SHRINKAGE,
+                max_iter=self.GLASSO_MAX_ITER,
+                tol=self.GLASSO_TOL,
+            )
+        else:
+            result = self._incremental_glasso(
+                state, survivors, query_label_matrix, pseudo_labels
+            )
         label_index = data.shape[1] - 1
         blanket = markov_blanket(result.precision, target=label_index)
         selected = [survivors[i] for i in blanket if i < len(survivors)]
         pruned = [j for j in survivors if j not in selected]
         return selected, pruned
+
+    def _incremental_glasso(
+        self,
+        state: LabelPickState,
+        survivors: list[int],
+        query_label_matrix: np.ndarray,
+        pseudo_labels: np.ndarray,
+    ) -> GraphicalLassoResult:
+        """Structure learning resumed from the carried :class:`LabelPickState`.
+
+        The covariance accumulator absorbs only the rows/columns appended
+        since the previous refit, and the glasso iterates are seeded from
+        the previous estimate with shared survivors intersection-mapped onto
+        their new positions (brand-new or re-ordered-away variables keep the
+        cold initialisation).  The optimisation problem itself is unchanged,
+        so the selection agrees with the cold path up to solver tolerance.
+        """
+        if state.covariance is None:
+            state.covariance = RunningCovariance()
+        # Accumulator layout: [pseudo-label | LF_0 | LF_1 | ...] so both the
+        # label column (position 0) and the LF columns keep stable positions
+        # as the LF set grows.
+        state.covariance.update(
+            np.column_stack([
+                np.asarray(pseudo_labels, dtype=float),
+                np.asarray(query_label_matrix, dtype=float),
+            ])
+        )
+        variables = [1 + j for j in survivors] + [0]
+        # Sub-blocks of the full covariance are the sub-matrix covariances
+        # exactly; shrinkage must target the sub-block's own scale.
+        covariance = shrink_covariance(
+            state.covariance.covariance()[np.ix_(variables, variables)],
+            self.COV_SHRINKAGE,
+        )
+
+        warm_start_map = None
+        if state.glasso_result is not None and state.glasso_survivors is not None:
+            previous_position = {
+                j: position for position, j in enumerate(state.glasso_survivors)
+            }
+            warm_start_map = np.array(
+                [previous_position.get(j, -1) for j in survivors]
+                + [len(state.glasso_survivors)],
+                dtype=int,
+            )
+        result = graphical_lasso(
+            covariance,
+            alpha=self.glasso_alpha,
+            from_covariance=True,
+            max_iter=self.GLASSO_MAX_ITER,
+            tol=self.GLASSO_TOL,
+            warm_start=state.glasso_result,
+            warm_start_map=warm_start_map,
+        )
+        state.glasso_result = result
+        state.glasso_survivors = list(survivors)
+        state.n_fits += 1
+        if result.warm_started:
+            state.n_warm_fits += 1
+        return result

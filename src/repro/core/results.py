@@ -30,6 +30,18 @@ class IterationRecord:
         Cumulative EM iterations spent on label-model (re)fits up to this
         iteration (``None`` for pipelines that do not report it).  The
         warm-start benchmark reads the final record's value.
+    lm_fits, lm_warm_fits:
+        Cumulative label-model fit / warm-started-fit counts up to this
+        iteration (``None`` for pipelines that do not report them).  The
+        warm-start benchmark derives its warm-refit rate — warm fits per
+        post-first fit — from the final record's values.
+    al_fits, al_warm_fits:
+        Same cumulative counters for the active-learning model.
+    glasso_fits, glasso_warm_fits:
+        Same cumulative counters for LabelPick's graphical-lasso structure
+        learning — *incremental path only*: with ``warm_start_labelpick``
+        off, structure learning runs statelessly and these stay 0 (they
+        measure carried-state fits, not whether the glasso ran at all).
     label_coverage:
         Fraction of the training pool that received an aggregated label.
     label_accuracy:
@@ -47,6 +59,12 @@ class IterationRecord:
     n_selected_lfs: int = 0
     threshold: float | None = None
     lm_em_iterations: int | None = None
+    lm_fits: int | None = None
+    lm_warm_fits: int | None = None
+    al_fits: int | None = None
+    al_warm_fits: int | None = None
+    glasso_fits: int | None = None
+    glasso_warm_fits: int | None = None
     label_coverage: float | None = None
     label_accuracy: float | None = None
     test_accuracy: float | None = None

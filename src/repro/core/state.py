@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.labelpick import LabelPickResult
+from repro.core.labelpick import LabelPickResult, LabelPickState
 from repro.core.pseudo_labels import PseudoLabeledSet
 from repro.labeling.incremental import IncrementalLabelMatrix
 from repro.labeling.lf import LabelFunction
@@ -50,11 +50,26 @@ class TrainingState:
     lm_fit_selection:
         The LF indices (into ``lfs``) whose columns ``label_model`` was
         fitted on.  Together with the carried model it lets the next refit
-        warm-start EM whenever the new selection is a superset of this one;
-        ``None`` until the first fit.
+        warm-start EM whenever the new selection intersects this one (the
+        shared columns are mapped onto their carried parameters); ``None``
+        until the first fit.
     lm_em_iterations:
         Cumulative EM iterations spent on label-model fits over the whole
         run (diagnostics; the warm-start benchmark reads it).
+    lm_fits, lm_warm_fits:
+        How many label-model fits ran / how many of them were EM-warm-started
+        from the carried previous fit (skip-outright reuses of an unchanged
+        selection count as neither).
+    al_fits, al_warm_fits:
+        Same counters for the active-learning model's refits.
+    labelpick:
+        Carried :class:`~repro.core.labelpick.LabelPickState` making the
+        structure-learning step incremental (its own ``n_fits`` /
+        ``n_warm_fits`` counters track graphical-lasso fits *on the
+        incremental path only*).  Unused — and its counters deliberately
+        stay 0, unlike ``lm_fits``/``al_fits`` — when
+        ``warm_start_labelpick`` is off: structure learning then runs
+        statelessly and leaves no trace here.
     threshold:
         ConFusion confidence threshold (``None`` before the AL model exists).
     lm_proba_train, lm_proba_valid, al_proba_train, al_proba_valid:
@@ -82,6 +97,11 @@ class TrainingState:
     label_model: object | None = None
     lm_fit_selection: list[int] | None = None
     lm_em_iterations: int = 0
+    lm_fits: int = 0
+    lm_warm_fits: int = 0
+    al_fits: int = 0
+    al_warm_fits: int = 0
+    labelpick: LabelPickState = field(default_factory=LabelPickState)
     al_model: object | None = None
     threshold: float | None = None
     lm_proba_train: np.ndarray | None = None
@@ -115,6 +135,25 @@ class TrainingState:
         """Mark the fitted models as consistent with the current inputs."""
         self.lfs_dirty = False
         self.pseudo_dirty = False
+
+    # ------------------------------------------------------------ diagnostics
+    def fit_counters(self) -> dict:
+        """Cumulative fit counters, keyed by ``IterationRecord`` field names.
+
+        The single source of the counter→record mapping: both the
+        per-iteration record construction and the evaluation-time counter
+        refresh (:meth:`~repro.baselines.base.InteractivePipeline.refit_counters`)
+        read it, so the two can never drift apart.
+        """
+        return {
+            "lm_em_iterations": self.lm_em_iterations,
+            "lm_fits": self.lm_fits,
+            "lm_warm_fits": self.lm_warm_fits,
+            "al_fits": self.al_fits,
+            "al_warm_fits": self.al_warm_fits,
+            "glasso_fits": self.labelpick.n_fits,
+            "glasso_warm_fits": self.labelpick.n_warm_fits,
+        }
 
     # ---------------------------------------------------------------- persist
     def snapshot(self) -> "TrainingState":

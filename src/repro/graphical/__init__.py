@@ -9,13 +9,19 @@ coordinate-descent graphical lasso, and helpers to read the Markov blanket
 off the estimated precision matrix.
 """
 
-from repro.graphical.covariance import empirical_covariance
+from repro.graphical.covariance import (
+    RunningCovariance,
+    empirical_covariance,
+    shrink_covariance,
+)
 from repro.graphical.lasso import lasso_coordinate_descent
 from repro.graphical.glasso import GraphicalLassoResult, graphical_lasso
 from repro.graphical.markov_blanket import dependency_graph, markov_blanket
 
 __all__ = [
     "empirical_covariance",
+    "shrink_covariance",
+    "RunningCovariance",
     "lasso_coordinate_descent",
     "graphical_lasso",
     "GraphicalLassoResult",

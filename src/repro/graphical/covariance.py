@@ -1,4 +1,13 @@
-"""Empirical covariance estimation with optional shrinkage."""
+"""Empirical covariance estimation with optional shrinkage.
+
+Besides the one-shot :func:`empirical_covariance`, the module provides
+:class:`RunningCovariance`, an incrementally maintained estimate for data
+matrices that only ever *grow* — new rows appended at the bottom (new
+observations) and new columns appended at the right (new variables).  That is
+exactly the access pattern of LabelPick across ActiveDP iterations: the
+pseudo-labelled query set gains rows and the LF set gains columns, but
+nothing already seen ever changes.
+"""
 
 from __future__ import annotations
 
@@ -30,7 +39,130 @@ def empirical_covariance(X, assume_centered: bool = False, shrinkage: float = 0.
     n_samples = X.shape[0]
     covariance = (X.T @ X) / max(n_samples, 1)
     if shrinkage > 0.0:
-        p = covariance.shape[0]
-        mu = np.trace(covariance) / p
-        covariance = (1.0 - shrinkage) * covariance + shrinkage * mu * np.eye(p)
+        covariance = shrink_covariance(covariance, shrinkage)
     return covariance
+
+
+def shrink_covariance(covariance: np.ndarray, shrinkage: float) -> np.ndarray:
+    """Convex combination of *covariance* with its scaled-identity target.
+
+    The same ``shrinkage * trace/p * I`` regulariser
+    :func:`empirical_covariance` applies, factored out so covariances built
+    elsewhere (e.g. sub-blocks of a :class:`RunningCovariance`) can be shrunk
+    identically.
+    """
+    if not 0.0 <= shrinkage <= 1.0:
+        raise ValueError(f"shrinkage must be in [0, 1], got {shrinkage}")
+    if shrinkage == 0.0:
+        return covariance
+    p = covariance.shape[0]
+    mu = np.trace(covariance) / p
+    return (1.0 - shrinkage) * covariance + shrinkage * mu * np.eye(p)
+
+
+class RunningCovariance:
+    """Exact empirical covariance over a row- and column-growing data matrix.
+
+    Maintains the uncentered sufficient statistics (row count, per-column
+    sums, Gram matrix ``X^T X``) so that
+
+    * appending ``r`` rows is a rank-``r`` update — ``O(r * p**2)`` instead of
+      the ``O(n * p**2)`` full recompute, and
+    * appending ``k`` columns costs one ``(p, n) @ (n, k)`` cross-product —
+      ``O(n * p * k)`` instead of ``O(n * (p + k)**2)``.
+
+    The raw data seen so far is kept (it is needed to cross new columns with
+    old rows), so this trades memory for recompute — appropriate for the
+    small, append-only matrices LabelPick operates on.
+
+    The produced covariance equals
+    ``empirical_covariance(data, shrinkage=...)`` up to floating-point
+    accumulation order, and any variable subset can be read off the full
+    estimate with :meth:`covariance` — centring is per-column, so the
+    sub-block of the full covariance *is* the covariance of the sub-matrix.
+    """
+
+    def __init__(self):
+        self._data: np.ndarray | None = None
+        self._sum: np.ndarray | None = None
+        self._gram: np.ndarray | None = None
+
+    @property
+    def n_rows(self) -> int:
+        return 0 if self._data is None else self._data.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return 0 if self._data is None else self._data.shape[1]
+
+    # ------------------------------------------------------------- updates
+    def add_rows(self, rows: np.ndarray) -> None:
+        """Append observations (must match the current column count)."""
+        rows = check_2d(rows, "rows")
+        if self._data is None:
+            self._data = np.array(rows, dtype=float)
+            self._sum = self._data.sum(axis=0)
+            self._gram = self._data.T @ self._data
+            return
+        if rows.shape[1] != self.n_features:
+            raise ValueError(
+                f"rows have {rows.shape[1]} columns, accumulator has "
+                f"{self.n_features}"
+            )
+        rows = np.asarray(rows, dtype=float)
+        self._sum = self._sum + rows.sum(axis=0)
+        self._gram = self._gram + rows.T @ rows
+        self._data = np.vstack([self._data, rows])
+
+    def add_columns(self, columns: np.ndarray) -> None:
+        """Append variables, given their full history on every seen row."""
+        columns = check_2d(columns, "columns")
+        if self._data is None:
+            raise ValueError("add_columns requires at least one seen row block")
+        if columns.shape[0] != self.n_rows:
+            raise ValueError(
+                f"columns have {columns.shape[0]} rows, accumulator has "
+                f"{self.n_rows}"
+            )
+        columns = np.asarray(columns, dtype=float)
+        cross = self._data.T @ columns
+        self._gram = np.block(
+            [[self._gram, cross], [cross.T, columns.T @ columns]]
+        )
+        self._sum = np.concatenate([self._sum, columns.sum(axis=0)])
+        self._data = np.hstack([self._data, columns])
+
+    def update(self, data: np.ndarray) -> None:
+        """Absorb the current full data matrix, diffing against what was seen.
+
+        *data* must extend the previously absorbed matrix: at least as many
+        rows and columns, with the already-seen top-left block unchanged
+        (appends only — the caller guarantees prefix stability).  New columns
+        are crossed with the old rows first, then the new rows are absorbed
+        at full width.
+        """
+        data = check_2d(data, "data")
+        if self._data is None:
+            self.add_rows(data)
+            return
+        old_rows, old_cols = self._data.shape
+        if data.shape[0] < old_rows or data.shape[1] < old_cols:
+            raise ValueError(
+                f"data {data.shape} does not extend the seen matrix "
+                f"({old_rows}, {old_cols}); the accumulator is append-only"
+            )
+        if data.shape[1] > old_cols:
+            self.add_columns(np.asarray(data, dtype=float)[:old_rows, old_cols:])
+        if data.shape[0] > old_rows:
+            self.add_rows(np.asarray(data, dtype=float)[old_rows:, :])
+
+    # -------------------------------------------------------------- readout
+    def covariance(self, shrinkage: float = 0.0) -> np.ndarray:
+        """The covariance of everything absorbed so far, optionally shrunk."""
+        if self._data is None:
+            raise ValueError("no data absorbed yet")
+        n = max(self.n_rows, 1)
+        mean = self._sum / n
+        covariance = self._gram / n - np.outer(mean, mean)
+        covariance = 0.5 * (covariance + covariance.T)
+        return shrink_covariance(covariance, shrinkage)

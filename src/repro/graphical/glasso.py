@@ -32,12 +32,15 @@ class GraphicalLassoResult:
         Number of outer sweeps performed.
     converged:
         Whether the outer loop reached its tolerance before ``max_iter``.
+    warm_started:
+        Whether the iterates were seeded from a previous result.
     """
 
     covariance: np.ndarray
     precision: np.ndarray
     n_iter: int
     converged: bool
+    warm_started: bool = False
 
 
 def graphical_lasso(
@@ -47,6 +50,8 @@ def graphical_lasso(
     max_iter: int = 100,
     tol: float = 1e-4,
     shrinkage: float = 0.05,
+    warm_start: GraphicalLassoResult | None = None,
+    warm_start_map: np.ndarray | None = None,
 ) -> GraphicalLassoResult:
     """Estimate a sparse precision matrix with an L1 penalty *alpha*.
 
@@ -68,6 +73,19 @@ def graphical_lasso(
     shrinkage:
         Identity shrinkage applied to the empirical covariance for numerical
         stability (ignored when ``from_covariance=True``).
+    warm_start:
+        A previous :class:`GraphicalLassoResult` to seed the covariance
+        iterate from.  The problem is convex, so the solution is unchanged —
+        a near-solution initialiser (e.g. the previous ActiveDP iteration's
+        estimate) just needs far fewer sweeps to reach it.
+    warm_start_map:
+        For each variable of the *new* problem, the variable index in the
+        warm-start result it corresponds to, or ``-1`` for a variable the
+        previous result did not cover.  ``None`` means the identity map
+        (requires matching dimensions).  Mapped pairs seed their covariance
+        entries from the previous estimate; pairs involving a new variable
+        keep the cold initialisation.  An inapplicable payload (wrong
+        dimensions, out-of-range map) degrades to a cold start, never raises.
     """
     if alpha < 0:
         raise ValueError("alpha must be non-negative")
@@ -86,6 +104,18 @@ def graphical_lasso(
     covariance = emp_cov.copy()
     # Keep the diagonal slightly inflated so every sub-block stays invertible.
     covariance.flat[:: p + 1] = emp_cov.flat[:: p + 1] + alpha
+    warm_started = _seed_covariance(covariance, warm_start, warm_start_map)
+    if warm_started:
+        # The diagonal is a fixed constraint of the glasso solution
+        # (W_jj = S_jj + alpha), so it always comes from the *new* data.
+        covariance.flat[:: p + 1] = emp_cov.flat[:: p + 1] + alpha
+        # A previous estimate's off-diagonal block combined with the new
+        # diagonal can be indefinite (the block coordinate descent diverges
+        # on an indefinite iterate); only a positive-definite seed is usable.
+        if np.linalg.eigvalsh(covariance).min() <= 1e-10:
+            covariance = emp_cov.copy()
+            covariance.flat[:: p + 1] = emp_cov.flat[:: p + 1] + alpha
+            warm_started = False
     precision = np.linalg.pinv(covariance)
     indices = np.arange(p)
 
@@ -114,4 +144,43 @@ def graphical_lasso(
             break
 
     precision = 0.5 * (precision + precision.T)
-    return GraphicalLassoResult(covariance, precision, n_iter, converged)
+    return GraphicalLassoResult(covariance, precision, n_iter, converged, warm_started)
+
+
+def _seed_covariance(
+    covariance: np.ndarray,
+    warm_start: GraphicalLassoResult | None,
+    warm_start_map: np.ndarray | None,
+) -> bool:
+    """Overwrite mapped off-diagonal entries of *covariance* in place.
+
+    Returns whether any entry was seeded; an inapplicable payload leaves the
+    cold initialisation untouched.
+    """
+    if warm_start is None:
+        return False
+    previous = np.asarray(warm_start.covariance, dtype=float)
+    if previous.ndim != 2 or previous.shape[0] != previous.shape[1]:
+        return False
+    p = covariance.shape[0]
+    p_prev = previous.shape[0]
+    if warm_start_map is None:
+        # The implicit identity map is only meaningful for identical
+        # dimensions; seeding a smaller problem positionally would silently
+        # pair the wrong variables.
+        if p_prev != p:
+            return False
+        column_map = np.arange(p)
+    else:
+        column_map = np.asarray(warm_start_map, dtype=int)
+    if column_map.shape != (p,) or np.any(column_map >= p_prev):
+        return False
+    mapped = np.flatnonzero(column_map >= 0)
+    if mapped.size < 2:
+        # Warm information lives in the off-diagonal entries; fewer than two
+        # mapped variables carry none.
+        return False
+    covariance[np.ix_(mapped, mapped)] = previous[
+        np.ix_(column_map[mapped], column_map[mapped])
+    ]
+    return True

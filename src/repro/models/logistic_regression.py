@@ -61,8 +61,24 @@ class LogisticRegression(BaseClassifier):
         self.tol = tol
 
     # ------------------------------------------------------------------ fit
-    def fit(self, X, y, sample_weight=None) -> "LogisticRegression":
-        """Fit the model on integer labels ``y`` (optionally sample-weighted)."""
+    def fit(
+        self,
+        X,
+        y,
+        sample_weight=None,
+        coef_init=None,
+        intercept_init=None,
+    ) -> "LogisticRegression":
+        """Fit the model on integer labels ``y`` (optionally sample-weighted).
+
+        ``coef_init`` / ``intercept_init`` optionally seed the optimiser with
+        a previous fit's parameters (shapes ``(n_classes, n_features)`` and
+        ``(n_classes,)``).  The objective is convex, so the solution is
+        unchanged — a near-solution initialiser just converges in fewer
+        L-BFGS iterations.  Mismatched shapes degrade to the zero (cold)
+        initialisation, never raise; :attr:`warm_started_` records which
+        happened.
+        """
         X = check_2d(X, "X")
         y = check_labels(y, name="y")
         check_consistent_length(X, y)
@@ -88,6 +104,7 @@ class LogisticRegression(BaseClassifier):
             self._constant_class = int(observed[0])
             self.coef_ = np.zeros((total_classes, n_features))
             self.intercept_ = np.zeros(total_classes)
+            self.warm_started_ = False
             return self
         self._constant_class = None
 
@@ -114,7 +131,22 @@ class LogisticRegression(BaseClassifier):
                 grad_penalty = alpha * W / weight_sum
             return nll + penalty, (grad + grad_penalty).ravel()
 
-        initial = np.zeros(total_classes * n_params)
+        initial_weights = np.zeros((total_classes, n_params))
+        self.warm_started_ = False
+        if coef_init is not None:
+            coef_init = np.asarray(coef_init, dtype=float)
+            if coef_init.shape == (total_classes, n_features) and np.all(
+                np.isfinite(coef_init)
+            ):
+                initial_weights[:, :n_features] = coef_init
+                self.warm_started_ = True
+                if self.fit_intercept and intercept_init is not None:
+                    intercept_init = np.asarray(intercept_init, dtype=float)
+                    if intercept_init.shape == (total_classes,) and np.all(
+                        np.isfinite(intercept_init)
+                    ):
+                        initial_weights[:, -1] = intercept_init
+        initial = initial_weights.ravel()
         result = minimize(
             objective,
             initial,

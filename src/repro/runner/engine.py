@@ -21,6 +21,7 @@ identical for any worker count and any cache temperature.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Hashable, Sequence
@@ -67,26 +68,44 @@ class ExecutionConfig:
 
 @dataclass
 class TrialOutcome:
-    """One executed (or cache-served) trial."""
+    """One executed, cache-served or deduplication-served trial.
+
+    ``deduplicated`` marks positions that shared another pending position's
+    content key and received a copy of its single execution's history —
+    neither executed themselves nor cache hits (so per-outcome counts line
+    up with :class:`GridReport`).
+    """
 
     spec: TrialSpec
     history: RunHistory
     from_cache: bool = False
+    deduplicated: bool = False
 
 
 @dataclass
 class GridReport:
-    """Execution statistics of the most recent grid run."""
+    """Execution statistics of the most recent grid run.
+
+    ``n_deduplicated`` counts trial positions that shared another pending
+    position's content key and were served from its single execution
+    (``n_executed`` counts actual executions, so
+    ``n_executed + n_cached + n_deduplicated == n_trials`` for a completed
+    run).
+    """
 
     n_trials: int = 0
     n_executed: int = 0
     n_cached: int = 0
+    n_deduplicated: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - display helper
-        return (
+        text = (
             f"{self.n_trials} trial(s): {self.n_executed} executed, "
             f"{self.n_cached} from cache"
         )
+        if self.n_deduplicated:
+            text += f", {self.n_deduplicated} deduplicated"
+        return text
 
 
 _last_report: GridReport | None = None
@@ -108,20 +127,30 @@ def run_specs(
 
     histories: dict[int, RunHistory] = {}
     cached_positions: set[int] = set()
-    pending: list[tuple[int, TrialSpec]] = []
+    # Two grid jobs can expand to the same trial (same content key,
+    # different presentation group); execute it once and fan the history
+    # back out to every position — running it twice would waste the work
+    # and race two cache writes on one entry.
+    pending_specs: list[TrialSpec] = []
+    pending_positions: dict[str, list[int]] = {}
     for position, spec in enumerate(specs):
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             histories[position] = hit
             cached_positions.add(position)
         else:
-            pending.append((position, spec))
-
+            positions = pending_positions.setdefault(spec.key, [])
+            if not positions:
+                pending_specs.append(spec)
+            positions.append(position)
     # Persist each trial the moment it finishes: an interrupted grid run
     # keeps everything completed so far.  The report is written in a
-    # ``finally`` with the *actual* completion count, so after a failed grid
-    # last_report() describes the interrupted run, not the previous one.
+    # ``finally`` with the *actual* completion counts, so after a failed grid
+    # last_report() describes the interrupted run, not the previous one —
+    # twin positions are only served after the whole batch returns, so an
+    # interrupted run reports zero deduplicated trials.
     n_executed = 0
+    n_deduplicated = 0
 
     def _on_executed(spec: TrialSpec, history: RunHistory) -> None:
         nonlocal n_executed
@@ -131,17 +160,31 @@ def run_specs(
 
     try:
         executed = execute_trials(
-            [spec for _, spec in pending], workers=execution.workers, on_result=_on_executed
+            pending_specs, workers=execution.workers, on_result=_on_executed
         )
+        n_deduplicated = sum(len(p) - 1 for p in pending_positions.values())
     finally:
         _last_report = GridReport(
-            n_trials=len(specs), n_executed=n_executed, n_cached=len(cached_positions)
+            n_trials=len(specs),
+            n_executed=n_executed,
+            n_cached=len(cached_positions),
+            n_deduplicated=n_deduplicated,
         )
-    for (position, _), history in zip(pending, executed):
-        histories[position] = history
+    deduplicated_positions: set[int] = set()
+    for spec, history in zip(pending_specs, executed):
+        positions = pending_positions[spec.key]
+        histories[positions[0]] = history
+        for position in positions[1:]:
+            # Deep-copied so callers mutating one outcome's history (or
+            # pickling it) never observe sharing with its twin.
+            histories[position] = copy.deepcopy(history)
+            deduplicated_positions.add(position)
     return [
         TrialOutcome(
-            spec=spec, history=histories[position], from_cache=position in cached_positions
+            spec=spec,
+            history=histories[position],
+            from_cache=position in cached_positions,
+            deduplicated=position in deduplicated_positions,
         )
         for position, spec in enumerate(specs)
     ]

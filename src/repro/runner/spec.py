@@ -32,7 +32,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bump when the trial execution semantics or RunHistory layout change in a
 #: way that invalidates previously cached results.
-CACHE_FORMAT_VERSION = 1
+#: 2: IterationRecord gained warm-refit counters; stale aggregation state is
+#:    flushed at evaluation points (retrain_every > 1 results moved).
+CACHE_FORMAT_VERSION = 2
 
 
 def canonical_value(obj):

@@ -184,3 +184,43 @@ def test_aggregation_partition_property(n, threshold, seed):
     # Rejected instances are exactly the uncovered + unconfident ones.
     expected_rejected = (~covered) & (al.max(axis=1) < threshold)
     np.testing.assert_array_equal(result.source == "rejected", expected_rejected)
+
+
+class TestCandidateSetIsSingleSourceOfTruth:
+    """tune_threshold must sweep exactly candidate_thresholds (satellite fix)."""
+
+    def test_tuning_routes_through_public_candidate_method(self):
+        calls = []
+
+        class Spy(ConFusion):
+            def candidate_thresholds(self, al_proba_valid):
+                candidates = super().candidate_thresholds(al_proba_valid)
+                calls.append(candidates)
+                return candidates
+
+        y_valid = np.array([0, 1, 0, 1])
+        Spy().tune_threshold(AL, LM, COVERED, y_valid)
+        assert len(calls) == 1
+
+    def test_chosen_threshold_is_a_published_candidate(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            n = int(rng.integers(2, 40))
+            al = rng.dirichlet([1.0, 1.0], size=n)
+            lm = rng.dirichlet([1.0, 1.0], size=n)
+            covered = rng.random(n) < 0.6
+            y_valid = rng.integers(0, 2, n)
+            confusion = ConFusion()
+            chosen = confusion.tune_threshold(al, lm, covered, y_valid)
+            assert chosen in confusion.candidate_thresholds(al)
+
+    def test_restricting_candidates_restricts_tuning(self):
+        """Overriding the public method visibly changes what tuning sweeps."""
+
+        class OnlyBoundaries(ConFusion):
+            def candidate_thresholds(self, al_proba_valid):
+                return np.array([0.0, 1.0])
+
+        y_valid = np.array([0, 1, 0, 1])
+        chosen = OnlyBoundaries().tune_threshold(AL, LM, COVERED, y_valid)
+        assert chosen in (0.0, 1.0)

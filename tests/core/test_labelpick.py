@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import LabelPick
+from repro.core import LabelPick, LabelPickState
+from repro.graphical import empirical_covariance
 from repro.labeling import ABSTAIN, KeywordLF
 
 
@@ -96,6 +97,104 @@ class TestStructureSelection:
             _make_lfs(2), valid_matrix, y_valid, query_matrix, np.zeros(20, dtype=int), 2
         )
         assert result.selected_indices == [0, 1]
+
+
+class TestIncrementalLabelPick:
+    """Structure learning carried across calls via a LabelPickState."""
+
+    @staticmethod
+    def _scenario(rng, n_queries=30, n_lfs=6, n_valid=150):
+        pseudo = rng.integers(0, 2, n_queries)
+        query_matrix = np.column_stack([
+            np.where(rng.random(n_queries) < 0.6 + 0.05 * j, pseudo, 1 - pseudo)
+            for j in range(n_lfs)
+        ])
+        y_valid = rng.integers(0, 2, n_valid)
+        valid_matrix = np.column_stack([
+            np.where(rng.random(n_valid) < 0.9, y_valid, 1 - y_valid)
+            for _ in range(n_lfs)
+        ])
+        return query_matrix, pseudo, valid_matrix, y_valid
+
+    def test_stateful_matches_stateless_on_growing_inputs(self, rng):
+        """Warm structure learning selects the same LFs as cold refits."""
+        query_matrix, pseudo, valid_matrix, y_valid = self._scenario(rng)
+        picker = LabelPick(min_queries=8)
+        state = LabelPickState()
+        for n_queries, n_lfs in [(12, 3), (20, 4), (30, 6)]:
+            args = (
+                _make_lfs(n_lfs),
+                valid_matrix[:, :n_lfs],
+                y_valid,
+                query_matrix[:n_queries, :n_lfs],
+                pseudo[:n_queries],
+                2,
+            )
+            stateless = picker.select(*args)
+            stateful = picker.select(*args, state=state)
+            assert stateful.used_structure_learning
+            assert stateful.selected_indices == stateless.selected_indices
+        assert state.n_fits == 3
+        # Every fit after the first resumes from the carried estimate.
+        assert state.n_warm_fits == 2
+
+    def test_state_covariance_tracks_full_layout(self, rng):
+        """The accumulator matches the from-scratch covariance of [label|LFs]."""
+        query_matrix, pseudo, valid_matrix, y_valid = self._scenario(rng)
+        picker = LabelPick(min_queries=8)
+        state = LabelPickState()
+        for n_queries, n_lfs in [(15, 4), (30, 6)]:
+            picker.select(
+                _make_lfs(n_lfs),
+                valid_matrix[:, :n_lfs],
+                y_valid,
+                query_matrix[:n_queries, :n_lfs],
+                pseudo[:n_queries],
+                2,
+                state=state,
+            )
+        full = np.column_stack([pseudo, query_matrix]).astype(float)
+        assert state.covariance.n_rows == 30
+        assert state.covariance.n_features == 7
+        np.testing.assert_allclose(
+            state.covariance.covariance(), empirical_covariance(full), atol=1e-10
+        )
+
+    def test_first_stateful_fit_is_cold(self, rng):
+        query_matrix, pseudo, valid_matrix, y_valid = self._scenario(rng)
+        state = LabelPickState()
+        LabelPick(min_queries=8).select(
+            _make_lfs(6), valid_matrix, y_valid, query_matrix, pseudo, 2, state=state
+        )
+        assert state.n_fits == 1 and state.n_warm_fits == 0
+        assert state.glasso_result is not None
+        assert state.glasso_survivors is not None
+
+    def test_survivor_churn_still_warm_starts(self, rng):
+        """Dropping a survivor between calls intersection-maps the rest."""
+        query_matrix, pseudo, valid_matrix, y_valid = self._scenario(rng)
+        picker = LabelPick(min_queries=8)
+        state = LabelPickState()
+        picker.select(
+            _make_lfs(6), valid_matrix, y_valid, query_matrix, pseudo, 2, state=state
+        )
+        # Make LF 0 fail accuracy pruning on the second call: its validation
+        # column now votes against the truth.
+        churned_valid = valid_matrix.copy()
+        churned_valid[:, 0] = 1 - y_valid
+        result = picker.select(
+            _make_lfs(6), churned_valid, y_valid, query_matrix, pseudo, 2, state=state
+        )
+        assert 0 not in result.selected_indices
+        assert state.n_fits == 2 and state.n_warm_fits == 1
+
+    def test_stateless_calls_do_not_touch_state(self, rng):
+        query_matrix, pseudo, valid_matrix, y_valid = self._scenario(rng)
+        LabelPick(min_queries=8).select(
+            _make_lfs(6), valid_matrix, y_valid, query_matrix, pseudo, 2
+        )
+        state = LabelPickState()
+        assert state.covariance is None and state.glasso_result is None
 
 
 class TestEdgeCases:

@@ -121,6 +121,112 @@ class TestSnapshotRoundTrip:
             np.testing.assert_array_equal(model.accuracies_, snapshot_model.accuracies_)
 
 
+class TestIntersectionMappedFrameworkWarmStarts:
+    def test_post_first_lm_refits_are_nearly_all_warm(self, tiny_text_split):
+        """LabelPick churn no longer forces cold starts: any overlap warms.
+
+        Only the first fit and fits on a fully *disjoint* selection (possible
+        in the first couple of iterations, when the selection is a single LF
+        that gets swapped) may stay cold — under the superset-only rule about
+        half of the early refits were.
+        """
+        framework = _run(tiny_text_split, 30, warm_start_label_model=True)
+        state = framework.state
+        assert state.lm_fits > 1
+        warm_rate = state.lm_warm_fits / (state.lm_fits - 1)
+        assert warm_rate >= 0.9
+
+    def test_cold_flag_never_warm_starts(self, tiny_text_split):
+        framework = _run(tiny_text_split, 30, warm_start_label_model=False)
+        assert framework.state.lm_fits > 1
+        assert framework.state.lm_warm_fits == 0
+
+
+class TestAllKnobsEquivalence:
+    """All three warm-start knobs on vs off on the same seeded run."""
+
+    ALL_ON = dict(
+        warm_start_label_model=True,
+        warm_start_labelpick=True,
+        warm_start_al_model=True,
+    )
+    ALL_OFF = dict(
+        warm_start_label_model=False,
+        warm_start_labelpick=False,
+        warm_start_al_model=False,
+    )
+
+    def test_end_label_quality_within_tol_and_all_paths_warm(self, tiny_text_split):
+        warm = _run(tiny_text_split, 30, **self.ALL_ON)
+        cold = _run(tiny_text_split, 30, **self.ALL_OFF)
+
+        warm_quality = warm.label_quality()
+        cold_quality = cold.label_quality()
+        # Warm starts change optimisation trajectories (EM/L-BFGS paths,
+        # glasso iterates within solver tolerance), not the models — the
+        # aggregated label quality must agree tightly.
+        assert abs(warm_quality["accuracy"] - cold_quality["accuracy"]) <= 0.05
+        assert abs(warm_quality["coverage"] - cold_quality["coverage"]) <= 0.05
+
+        state = warm.state
+        # Post-first fits warm except on fully disjoint selections (rare and
+        # legitimate — there is nothing to carry over).
+        assert state.lm_warm_fits / (state.lm_fits - 1) >= 0.9
+        assert state.al_warm_fits >= state.al_fits - 1
+        assert state.labelpick.n_fits > 1
+        # Post-first glasso fits warm except when the positive-definiteness
+        # guard falls back to a cold seed (rare and by design).
+        assert state.labelpick.n_warm_fits / (state.labelpick.n_fits - 1) >= 0.9
+        assert state.lm_em_iterations < cold.state.lm_em_iterations
+
+    def test_all_off_reproduces_historical_state(self, tiny_text_split):
+        """Knobs off: no warm machinery runs and no carried state is built."""
+        cold = _run(tiny_text_split, 25, **self.ALL_OFF)
+        state = cold.state
+        assert state.lm_warm_fits == 0
+        assert state.al_warm_fits == 0
+        assert state.labelpick.n_fits == 0
+        assert state.labelpick.covariance is None
+        assert state.labelpick.glasso_result is None
+        assert not getattr(state.al_model, "warm_started_", False)
+
+    def test_all_off_runs_are_deterministically_identical(self, tiny_text_split):
+        first = _run(tiny_text_split, 20, **self.ALL_OFF)
+        second = _run(tiny_text_split, 20, **self.ALL_OFF)
+        assert first.queried == second.queried
+        assert (
+            first.selection.selected_indices == second.selection.selected_indices
+        )
+        np.testing.assert_array_equal(first._lm_proba_train, second._lm_proba_train)
+        np.testing.assert_array_equal(first._al_proba_train, second._al_proba_train)
+
+    def test_labelpick_state_survives_snapshot_round_trip(self, tiny_text_split):
+        framework = _run(tiny_text_split, 20, **self.ALL_ON)
+        snapshot = framework.snapshot()
+        assert snapshot.labelpick is not framework.state.labelpick
+        assert snapshot.labelpick.n_fits == framework.state.labelpick.n_fits
+        before = framework.state.labelpick.n_fits
+        user = SimulatedUser(tiny_text_split.train, random_state=1)
+        framework.run(user, 5)
+        # The snapshot's carried structure-learning state must not move.
+        assert snapshot.labelpick.n_fits == before
+
+
+class TestWarmFitCounters:
+    def test_records_carry_cumulative_counters(self, tiny_text_split):
+        framework = _framework(tiny_text_split)
+        user = SimulatedUser(tiny_text_split.train, random_state=0)
+        records = framework.run(user, 15)
+        for family in ("lm", "al", "glasso"):
+            counters = [getattr(r, f"{family}_fits") for r in records]
+            warm = [getattr(r, f"{family}_warm_fits") for r in records]
+            assert all(c is not None for c in counters)
+            assert counters == sorted(counters)
+            assert all(w <= c for w, c in zip(warm, counters))
+        assert records[-1].lm_fits == framework.state.lm_fits
+        assert records[-1].glasso_fits == framework.state.labelpick.n_fits
+
+
 class TestEmIterationAccounting:
     def test_records_carry_cumulative_em_iterations(self, tiny_text_split):
         framework = _framework(tiny_text_split, warm_start_label_model=True)

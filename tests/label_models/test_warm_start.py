@@ -98,6 +98,68 @@ class TestWarmStartContract:
         assert model.export_warm_start() is None
 
 
+@pytest.mark.parametrize("cls", EM_MODELS)
+class TestIntersectionMappedWarmStart:
+    """Partial-overlap maps (the LabelPick-churn case): drops + adds at once."""
+
+    def test_intersection_map_matches_cold_within_tol(self, cls, rng):
+        matrix, _ = _make_matrix(rng, n_lfs=10)
+        base = cls(n_classes=2).fit(matrix[:, :6])
+        # New selection: columns [2..9] — drops 0-1, keeps 2-5, adds 6-9.
+        new = matrix[:, 2:]
+        column_map = [2, 3, 4, 5, -1, -1, -1, -1]
+        cold = cls(n_classes=2).fit(new)
+        warm = cls(n_classes=2).fit(
+            new, warm_start=base.export_warm_start(column_map=column_map)
+        )
+        assert warm.warm_started_
+        assert warm.n_iter_ <= cold.n_iter_
+        np.testing.assert_allclose(
+            warm.predict_proba(new), cold.predict_proba(new), atol=5e-2
+        )
+
+    def test_subset_map_matches_cold_within_tol(self, cls, rng):
+        """The new selection is strictly smaller than the previous fit's."""
+        matrix, _ = _make_matrix(rng, n_lfs=8)
+        base = cls(n_classes=2).fit(matrix)
+        new = matrix[:, [1, 3, 6]]
+        cold = cls(n_classes=2).fit(new)
+        warm = cls(n_classes=2).fit(
+            new, warm_start=base.export_warm_start(column_map=[1, 3, 6])
+        )
+        assert warm.warm_started_
+        np.testing.assert_allclose(
+            warm.predict_proba(new), cold.predict_proba(new), atol=5e-2
+        )
+
+    def test_many_seeds_agreement(self, cls, rng):
+        """Hypothesis-style sweep: random overlaps never break agreement."""
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            matrix, _ = _make_matrix(local, n=600, n_lfs=9)
+            previous_cols = sorted(
+                local.choice(9, size=local.integers(2, 8), replace=False).tolist()
+            )
+            new_cols = sorted(
+                local.choice(9, size=local.integers(2, 9), replace=False).tolist()
+            )
+            base = cls(n_classes=2).fit(matrix[:, previous_cols])
+            position = {col: i for i, col in enumerate(previous_cols)}
+            column_map = [position.get(col, -1) for col in new_cols]
+            new = matrix[:, new_cols]
+            warm = cls(n_classes=2).fit(
+                new, warm_start=base.export_warm_start(column_map=column_map)
+            )
+            cold = cls(n_classes=2).fit(new)
+            if not any(entry >= 0 for entry in column_map):
+                assert not warm.warm_started_
+                continue
+            assert warm.warm_started_
+            np.testing.assert_allclose(
+                warm.predict_proba(new), cold.predict_proba(new), atol=5e-2
+            )
+
+
 class TestMajorityVoteWarmStart:
     def test_stateless_model_ignores_warm_start(self, rng):
         matrix, _ = _make_matrix(rng, n_lfs=3)

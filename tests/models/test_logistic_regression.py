@@ -100,3 +100,55 @@ class TestDegenerateInputs:
         X = np.array([[np.nan, 1.0], [0.0, 1.0]])
         with pytest.raises(ValueError):
             LogisticRegression().fit(X, [0, 1])
+
+
+class TestWarmStart:
+    def test_warm_probas_match_cold_within_tolerance(self, rng):
+        """The objective is convex: the initialiser must not move the optimum."""
+        X, y = _separable_data(rng)
+        cold = LogisticRegression().fit(X, y)
+        warm = LogisticRegression().fit(
+            X, y, coef_init=cold.coef_, intercept_init=cold.intercept_
+        )
+        assert warm.warm_started_
+        np.testing.assert_allclose(
+            warm.predict_proba(X), cold.predict_proba(X), atol=1e-4
+        )
+
+    def test_warm_start_from_earlier_fit_on_grown_data(self, rng):
+        """The ActiveDP pattern: refit on a grown pseudo-labelled set."""
+        X, y = _separable_data(rng, n=300)
+        early = LogisticRegression().fit(X[:150], y[:150])
+        warm = LogisticRegression().fit(
+            X, y, coef_init=early.coef_, intercept_init=early.intercept_
+        )
+        cold = LogisticRegression().fit(X, y)
+        assert warm.warm_started_
+        np.testing.assert_allclose(
+            warm.predict_proba(X), cold.predict_proba(X), atol=1e-4
+        )
+
+    def test_mismatched_coef_shape_degrades_to_cold(self, rng):
+        X, y = _separable_data(rng)
+        warm = LogisticRegression().fit(X, y, coef_init=np.zeros((2, 3)))
+        cold = LogisticRegression().fit(X, y)
+        assert not warm.warm_started_
+        np.testing.assert_array_equal(warm.coef_, cold.coef_)
+
+    def test_non_finite_coef_init_degrades_to_cold(self, rng):
+        X, y = _separable_data(rng)
+        bad = np.full((2, X.shape[1]), np.nan)
+        warm = LogisticRegression().fit(X, y, coef_init=bad)
+        assert not warm.warm_started_
+
+    def test_single_class_fit_ignores_init(self, rng):
+        X = rng.standard_normal((10, 3))
+        model = LogisticRegression(n_classes=2).fit(
+            X, np.zeros(10, dtype=int), coef_init=np.ones((2, 3))
+        )
+        assert not model.warm_started_
+        np.testing.assert_array_equal(model.coef_, 0.0)
+
+    def test_no_init_reports_cold(self, rng):
+        X, y = _separable_data(rng)
+        assert not LogisticRegression().fit(X, y).warm_started_

@@ -109,6 +109,64 @@ class TestCaching:
         assert all(o.spec.key == c.spec.key for o, c in zip(warm, cold))
 
 
+class TestDeduplication:
+    def test_same_content_key_executes_once(self, tmp_path):
+        """Two jobs expanding to identical trials share one execution."""
+        jobs = [
+            GridJob(key="first", framework="uncertainty", dataset="youtube"),
+            GridJob(key="second", framework="uncertainty", dataset="youtube"),
+        ]
+        results = run_experiment_grid(jobs, FAST, ExecutionConfig(cache_dir=tmp_path))
+        report = last_report()
+        assert report.n_trials == 2 * FAST.n_seeds
+        assert report.n_executed == FAST.n_seeds
+        assert report.n_deduplicated == FAST.n_seeds
+        assert report.n_cached == 0
+        assert (
+            report.n_executed + report.n_cached + report.n_deduplicated
+            == report.n_trials
+        )
+        # Both cells received the full per-seed histories with equal content.
+        assert results["first"].average_accuracy == results["second"].average_accuracy
+        for ours, theirs in zip(
+            results["first"].histories, results["second"].histories
+        ):
+            assert pickle.dumps(ours) == pickle.dumps(theirs)
+
+    def test_fanned_out_histories_do_not_share_objects(self):
+        specs = [spec for _, spec in expand_jobs(_grid_jobs()[:1], FAST)]
+        duplicated = specs + specs
+        outcomes = run_specs(duplicated, ExecutionConfig())
+        assert last_report().n_deduplicated == len(specs)
+        for position, twin in enumerate(specs):
+            original = outcomes[position].history
+            copy = outcomes[position + len(specs)].history
+            assert original is not copy
+            assert pickle.dumps(original) == pickle.dumps(copy)
+        # Per-outcome flags agree with the report: the first occurrence
+        # executed, its twin was deduplication-served.
+        assert [o.deduplicated for o in outcomes] == [False] * len(specs) + [True] * len(specs)
+        assert sum(not o.from_cache and not o.deduplicated for o in outcomes) == (
+            last_report().n_executed
+        )
+
+    def test_deduplicated_run_matches_unduplicated(self):
+        specs = [spec for _, spec in expand_jobs(_grid_jobs(), FAST)]
+        plain = run_specs(specs, ExecutionConfig())
+        doubled = run_specs(specs + specs, ExecutionConfig())
+        for outcome, twin in zip(plain, doubled[: len(specs)]):
+            assert pickle.dumps(outcome.history) == pickle.dumps(twin.history)
+
+    def test_cache_hits_are_not_counted_as_duplicates(self, tmp_path):
+        specs = [spec for _, spec in expand_jobs(_grid_jobs()[:1], FAST)]
+        execution = ExecutionConfig(cache_dir=tmp_path)
+        run_specs(specs, execution)
+        run_specs(specs + specs, execution)
+        report = last_report()
+        assert report.n_cached == 2 * len(specs)
+        assert report.n_deduplicated == 0 and report.n_executed == 0
+
+
 class TestProtocolIntegration:
     def test_run_framework_on_dataset_uses_engine(self, tmp_path):
         execution = ExecutionConfig(cache_dir=tmp_path)
