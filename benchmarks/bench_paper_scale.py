@@ -23,7 +23,10 @@ variables restore the paper's protocol:
 
 The engine's ``--workers`` / ``--cache-dir`` / ``--no-cache`` options apply
 as in every other benchmark (each variant hashes to distinct cache entries
-through its ``pipeline_kwargs``).
+through its ``pipeline_kwargs``), as does ``--distributed --spool-dir DIR``
+to fan the grid out over ``python -m repro.runner.worker`` daemons —
+useful for the full ``REPRO_PAPER_BENCH_FULL=1`` protocol, which is exactly
+the paper-scale workload the distributed backend exists for.
 """
 
 from __future__ import annotations

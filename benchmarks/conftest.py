@@ -14,7 +14,10 @@ Execution is routed through the experiment engine; the ``--workers``,
 ``--cache-dir`` and ``--no-cache`` command-line options (registered in the
 root ``conftest.py``, with ``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_CACHE_DIR``
 / ``REPRO_BENCH_NO_CACHE`` fallbacks) control parallelism and trial-result
-caching for every benchmark.
+caching for every benchmark.  ``--distributed`` + ``--spool-dir``
+(``REPRO_BENCH_DISTRIBUTED`` / ``REPRO_BENCH_SPOOL_DIR``) instead hand the
+grid to externally started ``python -m repro.runner.worker`` daemons sharing
+the spool and cache directories.
 
 ``bench_paper_scale.py`` additionally understands ``REPRO_PAPER_BENCH_FULL``
 / ``REPRO_PAPER_BENCH_ITERATIONS`` / ``REPRO_PAPER_BENCH_SEEDS`` /
@@ -65,7 +68,13 @@ def bench_datasets() -> list[str]:
 
 @pytest.fixture(scope="session")
 def bench_execution(request) -> ExecutionConfig:
-    """Engine execution configuration from CLI options / environment."""
+    """Engine execution configuration from CLI options / environment.
+
+    With ``--distributed`` (or ``REPRO_BENCH_DISTRIBUTED=1``) the grid is
+    spooled to externally started ``python -m repro.runner.worker`` daemons
+    via ``--spool-dir`` / ``REPRO_BENCH_SPOOL_DIR``; otherwise trials run in
+    a local process pool sized by ``--workers``.
+    """
     workers = request.config.getoption("--workers")
     if workers is None:
         workers = _env_int("REPRO_BENCH_WORKERS", 1)
@@ -75,6 +84,21 @@ def bench_execution(request) -> ExecutionConfig:
     no_cache = request.config.getoption("--no-cache") or bool(
         int(os.environ.get("REPRO_BENCH_NO_CACHE", "0"))
     )
+    distributed = request.config.getoption("--distributed") or bool(
+        int(os.environ.get("REPRO_BENCH_DISTRIBUTED", "0"))
+    )
+    if distributed:
+        spool_dir = request.config.getoption("--spool-dir") or os.environ.get(
+            "REPRO_BENCH_SPOOL_DIR"
+        )
+        if not spool_dir or not cache_dir or no_cache:
+            raise pytest.UsageError(
+                "--distributed needs --spool-dir and an enabled --cache-dir "
+                "(the shared cache carries worker results back)"
+            )
+        return ExecutionConfig(
+            mode="distributed", spool_dir=spool_dir, cache_dir=cache_dir
+        )
     return ExecutionConfig(workers=workers, cache_dir=cache_dir, use_cache=not no_cache)
 
 

@@ -5,7 +5,10 @@ test suite and for the benchmark suite (``pytest benchmarks/...``):
 
 * ``--workers N``   — process-pool size for experiment grids (0 = all cores);
 * ``--cache-dir D`` — content-addressed trial-result cache directory;
-* ``--no-cache``    — ignore ``--cache-dir`` / cached results.
+* ``--no-cache``    — ignore ``--cache-dir`` / cached results;
+* ``--distributed`` — hand trials to independently started
+  ``python -m repro.runner.worker`` daemons instead of a local pool;
+* ``--spool-dir D`` — shared spool directory for ``--distributed``.
 
 The benchmark fixtures in ``benchmarks/conftest.py`` translate these (and
 their ``REPRO_BENCH_*`` environment-variable fallbacks) into an
@@ -31,4 +34,17 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="disable the trial-result cache even if --cache-dir is set",
+    )
+    group.addoption(
+        "--distributed",
+        action="store_true",
+        default=False,
+        help="run grids through the spool broker / worker daemons "
+        "(requires --spool-dir and --cache-dir)",
+    )
+    group.addoption(
+        "--spool-dir",
+        default=None,
+        help="shared spool directory for --distributed "
+        "(the workers' --spool argument)",
     )

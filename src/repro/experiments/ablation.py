@@ -28,9 +28,13 @@ def run_table3_ablation(
     protocol: EvaluationProtocol | None = None,
     datasets: list[str] | None = None,
     variants: list[str] | None = None,
-    execution: ExecutionConfig | None = None,
+    execution: ExecutionConfig | str | None = None,
 ) -> dict[str, dict[str, FrameworkResult]]:
-    """Run the ablation study; returns ``variant -> dataset -> FrameworkResult``."""
+    """Run the ablation study; returns ``variant -> dataset -> FrameworkResult``.
+
+    *execution* is an :class:`ExecutionConfig` or a preset name
+    (``"serial"``, ``"parallel"``, ``"distributed"``).
+    """
     protocol = protocol or EvaluationProtocol()
     datasets = datasets or dataset_names()
     variants = variants or list(ABLATION_VARIANTS)

@@ -60,7 +60,7 @@ def run_figure3(
     protocol: EvaluationProtocol | None = None,
     datasets: list[str] | None = None,
     frameworks: list[str] | None = None,
-    execution: ExecutionConfig | None = None,
+    execution: ExecutionConfig | str | None = None,
 ) -> Figure3Result:
     """Run the Figure 3 end-to-end comparison and return all results.
 
@@ -73,7 +73,9 @@ def run_figure3(
     frameworks:
         Framework subset (defaults to the five of Figure 3).
     execution:
-        Parallelism/caching configuration for the experiment engine.
+        Parallelism/caching configuration for the experiment engine — an
+        :class:`ExecutionConfig` or a preset name (``"serial"``,
+        ``"parallel"``, ``"distributed"``).
     """
     protocol = protocol or EvaluationProtocol()
     datasets = datasets or dataset_names()

@@ -18,9 +18,13 @@ def run_table5_label_noise(
     protocol: EvaluationProtocol | None = None,
     datasets: list[str] | None = None,
     noise_rates: tuple[float, ...] = TABLE5_NOISE_RATES,
-    execution: ExecutionConfig | None = None,
+    execution: ExecutionConfig | str | None = None,
 ) -> dict[float, dict[str, FrameworkResult]]:
-    """Run the label-noise study; returns ``noise_rate -> dataset -> FrameworkResult``."""
+    """Run the label-noise study; returns ``noise_rate -> dataset -> FrameworkResult``.
+
+    *execution* is an :class:`ExecutionConfig` or a preset name
+    (``"serial"``, ``"parallel"``, ``"distributed"``).
+    """
     protocol = protocol or EvaluationProtocol()
     datasets = datasets or dataset_names()
 

@@ -134,8 +134,10 @@ def run_framework_on_dataset(
 ) -> FrameworkResult:
     """Run one framework on one benchmark dataset across the protocol's seeds.
 
-    *execution* is an optional :class:`repro.runner.ExecutionConfig`
-    controlling parallelism and result caching (default: serial, no cache).
+    *execution* is an optional :class:`repro.runner.ExecutionConfig` — or a
+    preset name (``"serial"``, ``"parallel"``, ``"distributed"``) —
+    controlling parallelism, result caching and distribution (default:
+    serial, no cache).
     """
     # Imported lazily: the runner's spec/engine modules import this module.
     from repro.runner.engine import GridJob, run_experiment_grid

@@ -25,9 +25,13 @@ def run_table4_samplers(
     protocol: EvaluationProtocol | None = None,
     datasets: list[str] | None = None,
     samplers: list[str] | None = None,
-    execution: ExecutionConfig | None = None,
+    execution: ExecutionConfig | str | None = None,
 ) -> dict[str, dict[str, FrameworkResult]]:
-    """Run the sampler study; returns ``sampler -> dataset -> FrameworkResult``."""
+    """Run the sampler study; returns ``sampler -> dataset -> FrameworkResult``.
+
+    *execution* is an :class:`ExecutionConfig` or a preset name
+    (``"serial"``, ``"parallel"``, ``"distributed"``).
+    """
     protocol = protocol or EvaluationProtocol()
     datasets = datasets or dataset_names()
     samplers = samplers or list(TABLE4_SAMPLERS)

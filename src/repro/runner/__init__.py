@@ -6,12 +6,31 @@ One orchestration path for every experiment grid in the reproduction:
 * :mod:`repro.runner.cache` — content-addressed on-disk result cache;
 * :mod:`repro.runner.executor` — the per-trial loop and process-pool
   scheduling with a serial fallback;
-* :mod:`repro.runner.engine` — grid expansion, cache-first scheduling and
-  aggregation into :class:`~repro.experiments.protocol.FrameworkResult`s.
+* :mod:`repro.runner.broker` — filesystem-spool work queue for distributing
+  trials across machines (atomic rename leases, TTL + heartbeat crash
+  recovery, failure logs);
+* :mod:`repro.runner.worker` — the worker daemon
+  (``python -m repro.runner.worker``) that leases and executes spooled
+  trials anywhere the spool and cache directories are visible (imported
+  lazily — not re-exported here — so running it with ``-m`` does not
+  double-import the module);
+* :mod:`repro.runner.engine` — grid expansion, cache-first scheduling
+  (local, process-pool or distributed) and aggregation into
+  :class:`~repro.experiments.protocol.FrameworkResult`s.
+
+See ``docs/architecture.md`` for the module map and the distributed
+protocol, and ``docs/adding_experiments.md`` for how to add a grid.
 """
 
 from repro.runner.spec import CACHE_FORMAT_VERSION, TrialSpec
 from repro.runner.cache import ResultCache
+from repro.runner.broker import (
+    DEFAULT_LEASE_TTL,
+    LeasedTrial,
+    RemoteTrialError,
+    SpoolBroker,
+    SpoolTimeout,
+)
 from repro.runner.executor import execute_trials, run_trial, run_trial_on_split
 from repro.runner.engine import (
     ExecutionConfig,
@@ -28,8 +47,13 @@ from repro.runner.engine import (
 __all__ = [
     "nest_results",
     "CACHE_FORMAT_VERSION",
+    "DEFAULT_LEASE_TTL",
     "TrialSpec",
     "ResultCache",
+    "LeasedTrial",
+    "RemoteTrialError",
+    "SpoolBroker",
+    "SpoolTimeout",
     "execute_trials",
     "run_trial",
     "run_trial_on_split",

@@ -1,0 +1,468 @@
+"""Filesystem-spool broker: the cross-machine trial-distribution protocol.
+
+The broker turns a shared directory (NFS mount, bind mount, plain local
+directory) into a work queue for :class:`~repro.runner.spec.TrialSpec`s.  No
+server process is involved; every operation is a single atomic filesystem
+rename, so any number of submitters and workers can share one spool.
+
+Spool layout::
+
+    <spool>/
+        tasks/<key>.task                      pending trials (pickled
+                                              TrialSpec, atomic write)
+        leases/<key>.<worker>.<token>.lease   claimed trials (mtime =
+                                              worker heartbeat)
+        failed/<key>.json                     failure logs ({key, worker,
+                                              error, traceback})
+
+Protocol:
+
+* **enqueue** — the submitter writes one ``tasks/<key>.task`` file per
+  pending trial (tempfile + ``os.replace``).  The file name *is* the trial's
+  content key, so two submitters enqueueing the same trial write the same
+  (identical) file and the trial runs once.
+* **lease** — a worker claims a task by renaming it into ``leases/`` under a
+  claim name unique to this worker and claim.  ``os.rename`` is atomic on
+  the *source*, so exactly one of any number of racing workers wins; the
+  losers see ``FileNotFoundError`` and move on to the next task.  Because
+  the claim name encodes the holder, a worker can always tell whether a
+  lease is still its own (see **fail** below).
+* **heartbeat** — while executing, the worker periodically touches its lease
+  file; the mtime is the liveness signal.
+* **complete** — the worker writes the result through the shared
+  :class:`~repro.runner.cache.ResultCache` *first*, then unlinks the lease.
+  Completion is therefore observable before the lease disappears; a crash
+  between the two steps only leaves a lease that expires and a cached
+  result the next leaseholder discovers and serves without re-executing.
+* **release** — anyone (the polling submitter, typically) may rename a lease
+  whose mtime is older than the TTL back into ``tasks/``, re-offering a dead
+  worker's trial.  If the TTL fires on a *live* worker (e.g. a long GC
+  pause), two workers may briefly execute the same trial; both write the
+  same content-addressed cache entry, so duplicate execution is wasted work
+  but never wrong results.
+* **fail** — a trial that raises is recorded under ``failed/`` with the full
+  traceback; the submitter surfaces it as :class:`RemoteTrialError` instead
+  of waiting forever.  A worker whose claim was revoked (its lease expired
+  and was re-offered while the trial was failing) does *not* record the
+  failure: the trial belongs to someone else now, and a machine-local error
+  from a stale holder must not abort a grid a healthy retry is completing.
+
+The submitter side (:meth:`SpoolBroker.wait`) polls the cache with
+exponential backoff, re-releases expired leases, re-enqueues trials that
+vanished entirely (e.g. a quarantined corrupt task file), and stops on the
+first failure log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from repro.core.results import RunHistory
+from repro.runner.cache import ResultCache, atomic_write_bytes
+from repro.runner.spec import TrialSpec
+
+#: Default lease time-to-live in seconds: a lease whose heartbeat (file
+#: mtime) is older than this is considered abandoned and may be re-offered.
+#: Workers heartbeat every TTL/4 by default, so a live worker keeps a ~4x
+#: margin over the expiry check.
+DEFAULT_LEASE_TTL = 60.0
+
+
+class RemoteTrialError(RuntimeError):
+    """A trial failed on a remote worker.
+
+    Carries the worker's failure log so the submitter can show the remote
+    traceback instead of a bare "trial missing" timeout.
+    """
+
+    def __init__(self, key: str, worker: str, error: str, traceback_text: str):
+        self.key = key
+        self.worker = worker
+        self.error = error
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"trial {key[:12]}... failed on worker {worker!r}: {error}\n"
+            f"--- remote traceback ---\n{traceback_text}"
+        )
+
+
+class SpoolTimeout(TimeoutError):
+    """The submitter's wait deadline passed with trials still outstanding."""
+
+
+@dataclass
+class LeasedTrial:
+    """One claimed trial: the spec plus the lease file that proves the claim.
+
+    Attributes
+    ----------
+    key:
+        The trial's content key (the first dot-separated component of the
+        lease file name).
+    spec:
+        The trial description, unpickled from the claimed task file.
+    lease_path:
+        The claim-unique lease file under ``<spool>/leases/``
+        (``<key>.<worker>.<token>.lease``); its mtime is the heartbeat, and
+        its continued existence is proof the claim was not revoked.
+    """
+
+    key: str
+    spec: TrialSpec
+    lease_path: Path
+
+
+class SpoolBroker:
+    """Work queue over a shared spool directory (see module docstring).
+
+    Parameters
+    ----------
+    spool:
+        The shared directory.  Created (with its subdirectories) lazily on
+        first use; submitters and workers must point at the same path.
+    lease_ttl:
+        Seconds without a heartbeat after which a lease counts as abandoned.
+    """
+
+    def __init__(self, spool: str | Path, lease_ttl: float = DEFAULT_LEASE_TTL):
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.root = Path(spool)
+        self.lease_ttl = float(lease_ttl)
+        self.tasks_dir = self.root / "tasks"
+        self.leases_dir = self.root / "leases"
+        self.failed_dir = self.root / "failed"
+
+    # -- paths ------------------------------------------------------------
+
+    @staticmethod
+    def key_of(spec: TrialSpec | str) -> str:
+        """Content key of a spec (or pass a raw key through)."""
+        return spec.key if isinstance(spec, TrialSpec) else str(spec)
+
+    def task_path(self, spec: TrialSpec | str) -> Path:
+        """Pending-task file path for a spec or key."""
+        return self.tasks_dir / f"{self.key_of(spec)}.task"
+
+    def failure_path(self, spec: TrialSpec | str) -> Path:
+        """Failure-log file path for a spec or key."""
+        return self.failed_dir / f"{self.key_of(spec)}.json"
+
+    @staticmethod
+    def _entry_key(entry: Path) -> str:
+        # Spool entries all lead with the content key (<key>.task,
+        # <key>.json, <key>.<worker>.<token>.lease); the key is a hex digest
+        # and can never contain a dot itself.
+        return entry.name.split(".", 1)[0]
+
+    def _leases_for(self, spec: TrialSpec | str) -> Iterator[Path]:
+        if self.leases_dir.is_dir():
+            yield from self.leases_dir.glob(f"{self.key_of(spec)}.*.lease")
+
+    def is_claimed(self, spec: TrialSpec | str) -> bool:
+        """Whether any worker currently holds a lease on the trial."""
+        return next(self._leases_for(spec), None) is not None
+
+    def _ensure_dirs(self) -> None:
+        for directory in (self.tasks_dir, self.leases_dir, self.failed_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- submitter side ---------------------------------------------------
+
+    def enqueue(self, spec: TrialSpec) -> bool:
+        """Offer *spec* to the workers; returns whether a task file was written.
+
+        A stale failure log for the same key is cleared first (re-submitting
+        is the retry path after a fixed environment).  Nothing is written
+        when the trial is already pending or currently leased by a worker.
+        """
+        self._ensure_dirs()
+        key = spec.key
+        try:
+            self.failure_path(key).unlink()
+        except OSError:
+            pass
+        if self.task_path(key).exists() or self.is_claimed(key):
+            return False
+        atomic_write_bytes(
+            self.task_path(key), pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        return True
+
+    def release_expired(self, keys: Sequence[str] | None = None) -> int:
+        """Re-offer leases whose heartbeat is older than the TTL.
+
+        *keys* restricts the sweep to the given content keys (a submitter
+        only polices its own trials on a shared spool); ``None`` sweeps
+        every lease.  Returns the number of leases re-offered.
+        """
+        wanted = None if keys is None else set(keys)
+        released = 0
+        if not self.leases_dir.is_dir():
+            return released
+        now = time.time()
+        for lease in self.leases_dir.glob("*.lease"):
+            key = self._entry_key(lease)
+            if wanted is not None and key not in wanted:
+                continue
+            try:
+                age = now - lease.stat().st_mtime
+            except OSError:
+                continue  # completed/released under us
+            if age <= self.lease_ttl:
+                continue
+            task = self.task_path(key)
+            try:
+                if task.exists():
+                    # Already re-offered by someone else; dropping the dead
+                    # lease is cleanup, not a re-offer — it doesn't count.
+                    lease.unlink()
+                    continue
+                os.rename(lease, task)
+            except OSError:
+                continue  # lost the race to another policing process
+            released += 1
+        return released
+
+    def failure_for(self, spec: TrialSpec | str) -> dict | None:
+        """The failure log for a trial, or ``None`` if it has not failed."""
+        try:
+            return json.loads(self.failure_path(spec).read_text())
+        except OSError:
+            return None
+        except ValueError:
+            return None  # half-written by a crashed worker: not actionable
+
+    def wait(
+        self,
+        specs: Sequence[TrialSpec],
+        cache: ResultCache,
+        timeout: float | None = None,
+        poll_initial: float = 0.05,
+        poll_max: float = 1.0,
+        on_result: Callable[[TrialSpec, RunHistory], None] | None = None,
+        on_released: Callable[[int], None] | None = None,
+    ) -> dict[str, RunHistory]:
+        """Block until every spec's result is in *cache*; return key->history.
+
+        Polls with exponential backoff (*poll_initial* doubling-ish up to
+        *poll_max* seconds), re-releasing expired leases and re-enqueueing
+        trials that disappeared from the spool entirely along the way.
+
+        Raises :class:`RemoteTrialError` as soon as any trial has a failure
+        log, and :class:`SpoolTimeout` if *timeout* seconds pass with trials
+        still outstanding *and no live worker lease on any of them* — a
+        fresh heartbeat extends the deadline, so the timeout detects
+        abandonment, not trials that simply run long (``None`` waits
+        forever — only sensible when workers are known to be running).
+
+        *on_result* fires once per completed trial (the engine counts
+        remote completions with it); *on_released* fires with the number of
+        leases re-offered by each expiry sweep.
+        """
+        pending: dict[str, TrialSpec] = {spec.key: spec for spec in specs}
+        histories: dict[str, RunHistory] = {}
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        interval = poll_initial
+        while pending:
+            progressed = False
+            # One listing of the failure directory per round; per-pending-key
+            # probes (stat storms at up to 20 Hz early in the backoff) would
+            # hammer a shared fileserver on paper-scale grids.
+            failed_keys = self._key_snapshot(self.failed_dir, "*.json")
+            for key in list(pending):
+                # Cheap existence probe first: cache.get unpickles a whole
+                # RunHistory, which we only want to pay on completion.
+                if cache.path_for(key).exists():
+                    history = cache.get(key)
+                    if history is not None:
+                        spec = pending.pop(key)
+                        histories[key] = history
+                        if on_result is not None:
+                            on_result(spec, history)
+                        progressed = True
+                        continue
+                    # get() just quarantined a corrupt entry: still pending;
+                    # the self-healing pass below re-offers it.
+                if key in failed_keys:
+                    failure = self.failure_for(key)
+                    if failure is not None:
+                        raise RemoteTrialError(
+                            key,
+                            failure.get("worker", "<unknown>"),
+                            failure.get("error", "<unknown>"),
+                            failure.get("traceback", ""),
+                        )
+            if not pending:
+                break
+            released = self.release_expired(keys=pending)
+            if released and on_released is not None:
+                on_released(released)
+            task_keys = self._key_snapshot(self.tasks_dir, "*.task")
+            leased_keys = self._key_snapshot(self.leases_dir, "*.lease")
+            for key, spec in pending.items():
+                # Vanished entirely (quarantined task file, manual spool
+                # wipe, the complete/release unlink races): re-offer it from
+                # the spec we still hold, making the protocol self-healing.
+                # A key with a failure log is NOT re-offered — enqueue would
+                # clear the log a worker may have written since this round's
+                # failure check, and the next round must raise it instead.
+                if key in task_keys or key in leased_keys:
+                    continue
+                if not cache.path_for(key).exists() and self.failure_for(key) is None:
+                    self.enqueue(spec)
+            if progressed:
+                interval = poll_initial
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                if self._any_fresh_lease(pending):
+                    # A worker is actively heartbeating one of our trials:
+                    # the timeout guards against *abandonment*, not against
+                    # trials longer than the timeout — push the deadline.
+                    deadline = time.monotonic() + float(timeout)
+                else:
+                    raise SpoolTimeout(
+                        f"{len(pending)} trial(s) still outstanding after "
+                        f"{timeout:g}s with no live worker lease — are any "
+                        f"workers running against {self.root}? "
+                        "(python -m repro.runner.worker --spool ...)"
+                    )
+            time.sleep(interval)
+            interval = min(interval * 1.5, poll_max)
+        return histories
+
+    def _key_snapshot(self, directory: Path, pattern: str) -> set[str]:
+        """Content keys present in one spool directory (single listing)."""
+        if not directory.is_dir():
+            return set()
+        return {self._entry_key(path) for path in directory.glob(pattern)}
+
+    def _any_fresh_lease(self, keys: Sequence[str]) -> bool:
+        """Whether any of *keys* is claimed with an unexpired heartbeat."""
+        if not self.leases_dir.is_dir():
+            return False
+        now = time.time()
+        for lease in self.leases_dir.glob("*.lease"):
+            if self._entry_key(lease) not in keys:
+                continue
+            try:
+                if now - lease.stat().st_mtime <= self.lease_ttl:
+                    return True
+            except OSError:
+                continue
+        return False
+
+    # -- worker side ------------------------------------------------------
+
+    def lease_next(self, worker_id: str = "") -> LeasedTrial | None:
+        """Atomically claim the next pending trial, or ``None`` if idle.
+
+        Tasks are attempted in sorted filename order; losing a rename race
+        to another worker just moves on to the next candidate.  The claim
+        lands under ``<key>.<worker>.<token>.lease`` — unique per claim, so
+        the lease file doubles as an ownership certificate (and records who
+        holds the trial, for spool post-mortems).  A task file that cannot
+        be unpickled is quarantined (renamed to ``.corrupt``) so it cannot
+        wedge the queue — the submitter's self-healing re-enqueue restores
+        a fresh copy.
+        """
+        if not self.tasks_dir.is_dir():
+            return None
+        holder = re.sub(r"[^A-Za-z0-9_-]+", "-", worker_id) or "anon"
+        for task in sorted(self.tasks_dir.glob("*.task")):
+            key = task.stem
+            lease = self.leases_dir / f"{key}.{holder}.{uuid.uuid4().hex[:8]}.lease"
+            try:
+                os.rename(task, lease)
+            except OSError:
+                continue  # another worker won this task
+            try:
+                spec = pickle.loads(lease.read_bytes())
+            except Exception:
+                spec = None
+            if not isinstance(spec, TrialSpec):
+                try:
+                    os.replace(lease, lease.with_name(lease.name + ".corrupt"))
+                except OSError:
+                    pass
+                continue
+            return LeasedTrial(key=key, spec=spec, lease_path=lease)
+        return None
+
+    def heartbeat(self, lease: LeasedTrial) -> None:
+        """Refresh the lease's liveness signal (touch its mtime)."""
+        try:
+            os.utime(lease.lease_path)
+        except OSError:
+            pass  # lease was released/expired under us; expiry handles it
+
+    def complete(self, lease: LeasedTrial) -> None:
+        """Drop the lease after the result reached the cache."""
+        try:
+            lease.lease_path.unlink()
+        except OSError:
+            pass
+
+    def release(self, lease: LeasedTrial) -> None:
+        """Voluntarily re-offer a claimed trial (worker shutting down)."""
+        task = self.task_path(lease.key)
+        try:
+            if task.exists():
+                lease.lease_path.unlink()
+            else:
+                os.rename(lease.lease_path, task)
+        except OSError:
+            pass
+
+    def fail(self, lease: LeasedTrial, worker_id: str, error: BaseException, traceback_text: str) -> None:
+        """Record a trial failure and drop the lease — if the claim is still ours.
+
+        The failure log (not the exception) is what crosses the machine
+        boundary; :meth:`wait` re-raises it as :class:`RemoteTrialError`.
+
+        A revoked claim (the lease file is gone: the TTL expired and the
+        trial was re-offered while this worker was busy dying) records
+        nothing: the failure may be local to this worker, and aborting the
+        submitter would discard a healthy retry already in flight.  The
+        check races revocation by design — the window shrinks from the
+        whole trial duration to one stat call, and the residual race only
+        re-raises a genuine failure one retry later.
+        """
+        if not lease.lease_path.exists():
+            return
+        self._ensure_dirs()
+        payload = {
+            "key": lease.key,
+            "worker": worker_id,
+            "error": repr(error),
+            "traceback": traceback_text,
+        }
+        atomic_write_bytes(
+            self.failure_path(lease.key),
+            json.dumps(payload, indent=2).encode("utf-8"),
+        )
+        self.complete(lease)
+
+    # -- introspection ----------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """``{"tasks": ..., "leases": ..., "failed": ...}`` snapshot."""
+        return {
+            "tasks": sum(1 for _ in self.tasks_dir.glob("*.task"))
+            if self.tasks_dir.is_dir()
+            else 0,
+            "leases": sum(1 for _ in self.leases_dir.glob("*.lease"))
+            if self.leases_dir.is_dir()
+            else 0,
+            "failed": sum(1 for _ in self.failed_dir.glob("*.json"))
+            if self.failed_dir.is_dir()
+            else 0,
+        }

@@ -22,6 +22,27 @@ from repro.core.results import RunHistory
 from repro.runner.spec import TrialSpec
 
 
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write *data* to *path* so readers see the old bytes or the new, never a mix.
+
+    Tempfile in the destination directory (``os.replace`` across
+    filesystems is copy+delete, not atomic) then rename over the target;
+    the temp file is removed on any failure.  Shared by the cache and the
+    spool broker so durability fixes land in one place.
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 class ResultCache:
     """Pickle-per-trial cache rooted at *root* (created lazily on first put)."""
 
@@ -34,7 +55,15 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, spec: TrialSpec | str) -> RunHistory | None:
-        """Return the cached history, or ``None`` on a miss or unreadable entry."""
+        """Return the cached history, or ``None`` on a miss or unreadable entry.
+
+        An unreadable or wrong-typed entry is quarantined (renamed to
+        ``<entry>.pkl.corrupt``) before reporting the miss, so the caller's
+        recompute can actually land: with multiple writers sharing a cache
+        directory, leaving the corrupt file in place would turn every
+        subsequent ``__contains__`` probe into a false positive while
+        ``get`` keeps failing.
+        """
         path = self.path_for(spec)
         try:
             with open(path, "rb") as handle:
@@ -44,25 +73,30 @@ class ResultCache:
         except Exception:
             # Unpickling garbage raises a zoo of exception types
             # (UnpicklingError, ValueError, EOFError, AttributeError, ...);
-            # any unreadable entry is simply a miss and will be rewritten.
+            # any unreadable entry is a miss and is moved aside for
+            # post-mortems instead of being silently overwritten.
+            self._quarantine(path)
             return None
-        return history if isinstance(history, RunHistory) else None
+        if not isinstance(history, RunHistory):
+            self._quarantine(path)
+            return None
+        return history
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        # os.replace keeps this race-safe against a concurrent put(): the
+        # writer's rename and ours target different names, so whichever
+        # lands last, the .pkl slot ends up either absent or freshly valid.
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
 
     def put(self, spec: TrialSpec | str, history: RunHistory) -> Path:
         """Atomically store *history* under the spec's content key."""
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(history, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_bytes(path, pickle.dumps(history, protocol=pickle.HIGHEST_PROTOCOL))
         return path
 
     def __contains__(self, spec: TrialSpec | str) -> bool:

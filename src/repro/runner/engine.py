@@ -11,22 +11,28 @@ on.  The engine gives them one orchestration path:
 3. :func:`run_specs` serves cached trials from the content-addressed
    :class:`~repro.runner.cache.ResultCache` and schedules the rest through
    :func:`~repro.runner.executor.execute_trials` (process-pool parallel
-   across the *whole* grid, not per cell);
+   across the *whole* grid, not per cell) — or, with
+   ``ExecutionConfig(mode="distributed", ...)``, enqueues them on a
+   :class:`~repro.runner.broker.SpoolBroker` for independently started
+   worker daemons and polls the shared cache for completion;
 4. :func:`run_experiment_grid` folds the histories back into
    :class:`~repro.experiments.protocol.FrameworkResult`s per job.
 
 Because trials are self-contained and deterministically seeded, results are
-identical for any worker count and any cache temperature.
+identical for any worker count, any cache temperature, and any placement of
+the workers (local pool or remote machines).
 """
 
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.core.results import RunHistory
+from repro.runner.broker import DEFAULT_LEASE_TTL, SpoolBroker
 from repro.runner.cache import ResultCache
 from repro.runner.executor import execute_trials
 from repro.runner.spec import TrialSpec
@@ -40,30 +46,112 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class ExecutionConfig:
-    """How a grid is executed: parallelism and result caching.
+    """How a grid is executed: parallelism, result caching, distribution.
 
     Attributes
     ----------
     workers:
-        Process-pool size; ``1`` (default) runs serially, ``0`` uses all
-        cores (capped).
+        Process-pool size for local execution; ``1`` (default) runs
+        serially, ``0`` uses all cores (capped).  Ignored when
+        ``mode="distributed"`` — remote worker processes decide their own
+        parallelism.
     cache_dir:
         Root of the content-addressed result cache; ``None`` disables
-        caching entirely.
+        caching entirely.  Distributed execution *requires* a cache: it is
+        the channel results travel back through.
     use_cache:
         Master switch; ``False`` ignores ``cache_dir`` (the ``--no-cache``
         knob).
+    mode:
+        ``"local"`` (default) executes trials in this process or its
+        process pool; ``"distributed"`` enqueues them on the spool for
+        independently started ``python -m repro.runner.worker`` daemons and
+        polls the cache for completion.
+    spool_dir:
+        Shared spool directory for ``mode="distributed"`` (the workers'
+        ``--spool``).
+    lease_ttl:
+        Seconds without a worker heartbeat before the submitter re-offers
+        a claimed trial (crash recovery).  Match the workers'
+        ``--lease-ttl``.
+    wait_timeout:
+        Give up (``SpoolTimeout``) after this many seconds with trials
+        still outstanding; ``None`` waits forever.
     """
 
     workers: int = 1
     cache_dir: str | Path | None = None
     use_cache: bool = True
+    mode: str = "local"
+    spool_dir: str | Path | None = None
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    wait_timeout: float | None = None
+
+    def __post_init__(self):
+        if self.mode not in ("local", "distributed"):
+            raise ValueError(
+                f"mode must be 'local' or 'distributed', got {self.mode!r}"
+            )
+        if self.mode == "distributed":
+            if self.spool_dir is None:
+                raise ValueError(
+                    "distributed execution needs a spool_dir (the shared "
+                    "directory workers poll; set REPRO_SPOOL_DIR when using "
+                    'the execution="distributed" shorthand)'
+                )
+            if self.cache() is None:
+                raise ValueError(
+                    "distributed execution needs an enabled cache_dir — the "
+                    "shared cache is how worker results reach the submitter "
+                    '(set REPRO_CACHE_DIR when using the execution='
+                    '"distributed" shorthand)'
+                )
+
+    @classmethod
+    def coerce(cls, value: ExecutionConfig | str | None) -> ExecutionConfig:
+        """Normalise the ``execution`` argument every engine entry point takes.
+
+        ``None`` means the serial default; an :class:`ExecutionConfig`
+        passes through; a string names a preset — ``"serial"``,
+        ``"parallel"`` (all cores) or ``"distributed"`` (spool/cache
+        directories from the ``REPRO_SPOOL_DIR`` / ``REPRO_CACHE_DIR``
+        environment variables).
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, ExecutionConfig):
+            return value
+        if isinstance(value, str):
+            if value == "serial":
+                return cls(workers=1)
+            if value == "parallel":
+                return cls(workers=0)
+            if value == "distributed":
+                return cls(
+                    mode="distributed",
+                    spool_dir=os.environ.get("REPRO_SPOOL_DIR"),
+                    cache_dir=os.environ.get("REPRO_CACHE_DIR"),
+                )
+            raise ValueError(
+                f"unknown execution preset {value!r} "
+                "(expected 'serial', 'parallel' or 'distributed')"
+            )
+        raise TypeError(
+            f"execution must be an ExecutionConfig, a preset name or None, "
+            f"got {type(value).__name__}"
+        )
 
     def cache(self) -> ResultCache | None:
         """The configured cache, or ``None`` when caching is off."""
         if self.cache_dir is None or not self.use_cache:
             return None
         return ResultCache(self.cache_dir)
+
+    def broker(self) -> SpoolBroker:
+        """The spool broker for ``mode="distributed"``."""
+        if self.spool_dir is None:
+            raise ValueError("no spool_dir configured")
+        return SpoolBroker(self.spool_dir, lease_ttl=self.lease_ttl)
 
 
 @dataclass
@@ -88,23 +176,32 @@ class GridReport:
 
     ``n_deduplicated`` counts trial positions that shared another pending
     position's content key and were served from its single execution
-    (``n_executed`` counts actual executions, so
-    ``n_executed + n_cached + n_deduplicated == n_trials`` for a completed
-    run).
+    (``n_executed`` counts actual local executions, ``n_remote`` counts
+    trials completed by distributed workers, so ``n_executed + n_remote +
+    n_cached + n_deduplicated == n_trials`` for a completed run).
+    ``n_released`` counts expired leases the submitter re-offered while
+    waiting — i.e. how many times crash recovery kicked in (not a trial
+    count; one trial can be released more than once).
     """
 
     n_trials: int = 0
     n_executed: int = 0
     n_cached: int = 0
     n_deduplicated: int = 0
+    n_remote: int = 0
+    n_released: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         text = (
             f"{self.n_trials} trial(s): {self.n_executed} executed, "
             f"{self.n_cached} from cache"
         )
+        if self.n_remote:
+            text += f", {self.n_remote} on remote workers"
         if self.n_deduplicated:
             text += f", {self.n_deduplicated} deduplicated"
+        if self.n_released:
+            text += f" ({self.n_released} expired lease(s) re-offered)"
         return text
 
 
@@ -117,11 +214,16 @@ def last_report() -> GridReport | None:
 
 
 def run_specs(
-    specs: Sequence[TrialSpec], execution: ExecutionConfig | None = None
+    specs: Sequence[TrialSpec], execution: ExecutionConfig | str | None = None
 ) -> list[TrialOutcome]:
-    """Run *specs* (cache-first, then parallel) preserving input order."""
+    """Run *specs* (cache-first, then parallel or distributed), in input order.
+
+    *execution* accepts an :class:`ExecutionConfig` or one of the preset
+    names understood by :meth:`ExecutionConfig.coerce` (``"serial"``,
+    ``"parallel"``, ``"distributed"``).
+    """
     global _last_report
-    execution = execution or ExecutionConfig()
+    execution = ExecutionConfig.coerce(execution)
     cache = execution.cache()
     specs = list(specs)
 
@@ -151,6 +253,8 @@ def run_specs(
     # interrupted run reports zero deduplicated trials.
     n_executed = 0
     n_deduplicated = 0
+    n_remote = 0
+    n_released = 0
 
     def _on_executed(spec: TrialSpec, history: RunHistory) -> None:
         nonlocal n_executed
@@ -158,10 +262,33 @@ def run_specs(
         if cache is not None:
             cache.put(spec, history)
 
+    def _on_remote(spec: TrialSpec, history: RunHistory) -> None:
+        # The worker already wrote the history through the shared cache —
+        # completion *is* the cache write — so only the count is local work.
+        nonlocal n_remote
+        n_remote += 1
+
+    def _on_released(count: int) -> None:
+        nonlocal n_released
+        n_released += count
+
     try:
-        executed = execute_trials(
-            pending_specs, workers=execution.workers, on_result=_on_executed
-        )
+        if execution.mode == "distributed":
+            broker = execution.broker()
+            for spec in pending_specs:
+                broker.enqueue(spec)
+            by_key = broker.wait(
+                pending_specs,
+                cache,
+                timeout=execution.wait_timeout,
+                on_result=_on_remote,
+                on_released=_on_released,
+            )
+            executed = [by_key[spec.key] for spec in pending_specs]
+        else:
+            executed = execute_trials(
+                pending_specs, workers=execution.workers, on_result=_on_executed
+            )
         n_deduplicated = sum(len(p) - 1 for p in pending_positions.values())
     finally:
         _last_report = GridReport(
@@ -169,6 +296,8 @@ def run_specs(
             n_executed=n_executed,
             n_cached=len(cached_positions),
             n_deduplicated=n_deduplicated,
+            n_remote=n_remote,
+            n_released=n_released,
         )
     deduplicated_positions: set[int] = set()
     for spec, history in zip(pending_specs, executed):
@@ -241,12 +370,14 @@ def expand_jobs(
 def run_experiment_grid(
     jobs: Sequence[GridJob],
     protocol: EvaluationProtocol | None = None,
-    execution: ExecutionConfig | None = None,
+    execution: ExecutionConfig | str | None = None,
 ) -> dict[Hashable, FrameworkResult]:
     """Run a whole experiment grid and aggregate per-job results.
 
     The flat trial list of *all* jobs is scheduled at once, so the process
-    pool stays busy across cells instead of draining per cell.
+    pool (or the worker fleet, with ``execution="distributed"`` /
+    ``ExecutionConfig(mode="distributed", ...)``) stays busy across cells
+    instead of draining per cell.
     """
     # Imported lazily: this module must stay importable without triggering
     # repro/experiments/__init__.py (which imports the engine back).

@@ -12,6 +12,11 @@ inside the worker from the spec's seed, and every stochastic component is
 seeded from the spec — so parallel execution is bit-identical to serial
 execution in any order.  Pool-level failures (sandboxes without process
 support, unpicklable kwargs) degrade to an in-process serial loop.
+
+The same self-containment is what lets :func:`run_trial` serve as the
+execution kernel everywhere trials run: the serial path, the pool workers
+here, and the cross-machine :mod:`repro.runner.worker` daemons all call it
+with nothing but a spec.
 """
 
 from __future__ import annotations

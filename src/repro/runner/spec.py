@@ -3,7 +3,9 @@
 A *trial* is the atomic unit of the experiment engine: one framework on one
 dataset with one seed under one evaluation protocol.  :class:`TrialSpec`
 freezes that description so trials can be hashed, deduplicated, shipped to
-worker processes and used as content addresses for the on-disk result cache
+worker processes — pool workers on this machine, or pickled onto a spool
+directory for :mod:`repro.runner.worker` daemons on other machines — and
+used as content addresses for the on-disk result cache
 (:mod:`repro.runner.cache`).
 
 The hash covers every input that determines the trial's outcome — framework,

@@ -1,0 +1,233 @@
+"""Worker daemon: executes spooled trials on any machine that can see the spool.
+
+Run one (or many) of these on every machine that shares the spool directory
+and the cache directory::
+
+    python -m repro.runner.worker --spool /shared/spool --cache-dir /shared/cache
+
+The worker loops forever (until ``--max-trials`` or ``--idle-timeout``):
+lease the next pending trial from the :class:`~repro.runner.broker.SpoolBroker`,
+heartbeat the lease from a background thread while executing it with the
+engine's canonical :func:`~repro.runner.executor.run_trial` loop, write the
+history through the shared :class:`~repro.runner.cache.ResultCache`, drop the
+lease.  A trial that raises is recorded as a failure log for the submitter to
+surface; the worker itself keeps serving other trials.
+
+Workers are stateless and interchangeable: all coordination lives in the
+spool's rename-based lease protocol, and results are content-addressed, so
+adding a worker never requires telling the submitter (or the other workers)
+about it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+
+from repro.runner.broker import DEFAULT_LEASE_TTL, LeasedTrial, SpoolBroker
+from repro.runner.cache import ResultCache
+from repro.runner.executor import run_trial
+
+
+def default_worker_id() -> str:
+    """Host-and-pid identity recorded in failure logs (``host-pid``)."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _Heartbeat(threading.Thread):
+    """Background thread touching the lease file while a trial executes.
+
+    The worker's main thread is busy inside the trial for potentially many
+    TTLs, so liveness must be signalled from the side; a missed heartbeat
+    (this thread dying with the process) is exactly what lets the submitter
+    re-offer the trial.
+    """
+
+    def __init__(self, broker: SpoolBroker, lease: LeasedTrial, interval: float):
+        super().__init__(daemon=True)
+        self._broker = broker
+        self._lease = lease
+        self._interval = interval
+        self._stopped = threading.Event()
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration
+        while not self._stopped.wait(self._interval):
+            self._broker.heartbeat(self._lease)
+
+    def stop(self) -> None:
+        """Stop heartbeating and wait for the thread to exit."""
+        self._stopped.set()
+        self.join()
+
+
+def run_worker(
+    spool: str,
+    cache_dir: str,
+    max_trials: int | None = None,
+    idle_timeout: float | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll_interval: float = 0.2,
+    worker_id: str | None = None,
+    quiet: bool = False,
+) -> int:
+    """Serve trials from *spool* until done; returns the number executed.
+
+    Parameters
+    ----------
+    spool:
+        Shared spool directory (same path the submitter passed to the
+        broker).
+    cache_dir:
+        Shared :class:`ResultCache` root results are written through.
+    max_trials:
+        Exit after executing this many trials (``None`` = unbounded).
+    idle_timeout:
+        Exit after this many consecutive seconds without finding a pending
+        task (``None`` = wait forever).
+    lease_ttl:
+        Lease time-to-live; must match (or exceed) the submitter's so a
+        healthy heartbeat is never mistaken for death.
+    poll_interval:
+        Sleep between empty-spool polls.
+    worker_id:
+        Identity recorded in failure logs; defaults to ``host-pid``.
+    quiet:
+        Suppress per-trial progress lines on stderr.
+    """
+    broker = SpoolBroker(spool, lease_ttl=lease_ttl)
+    cache = ResultCache(cache_dir)
+    identity = worker_id or default_worker_id()
+    heartbeat_interval = max(lease_ttl / 4.0, 0.05)
+
+    def log(message: str) -> None:
+        if not quiet:
+            print(f"[worker {identity}] {message}", file=sys.stderr, flush=True)
+
+    executed = 0
+    idle_since = time.monotonic()
+    log(f"serving spool {broker.root} -> cache {cache.root}")
+    while max_trials is None or executed < max_trials:
+        lease = broker.lease_next(identity)
+        if lease is None:
+            if (
+                idle_timeout is not None
+                and time.monotonic() - idle_since >= idle_timeout
+            ):
+                break
+            time.sleep(poll_interval)
+            continue
+        idle_since = time.monotonic()
+        if cache.get(lease.key) is not None:
+            # Another worker (or a previous life of this trial, completed
+            # right before its holder crashed) already produced the result:
+            # content addressing makes re-execution pure waste.
+            log(f"{lease.key[:12]}... already cached, skipping")
+            broker.complete(lease)
+            continue
+        heartbeat = _Heartbeat(broker, lease, heartbeat_interval)
+        heartbeat.start()
+        try:
+            started = time.perf_counter()
+            history = run_trial(lease.spec)
+        except (KeyboardInterrupt, SystemExit):
+            heartbeat.stop()
+            broker.release(lease)
+            log(f"interrupted, re-offered {lease.key[:12]}...")
+            raise
+        except BaseException as error:
+            heartbeat.stop()
+            broker.fail(lease, identity, error, traceback.format_exc())
+            log(f"{lease.key[:12]}... FAILED: {error!r}")
+            continue
+        heartbeat.stop()
+        try:
+            cache.put(lease.key, history)
+        except (KeyboardInterrupt, SystemExit):
+            broker.release(lease)
+            raise
+        except Exception as error:
+            # Publishing failed (disk full, NFS hiccup): this is worker-side
+            # infrastructure, not a property of the trial, so no failure log
+            # — re-offer the trial for any worker (including this one, once
+            # the condition clears) and keep the daemon alive.  The sleep
+            # paces the retry loop when the condition persists.
+            broker.release(lease)
+            log(f"{lease.key[:12]}... cache write failed ({error!r}); re-offered")
+            time.sleep(poll_interval)
+            continue
+        broker.complete(lease)
+        executed += 1
+        log(
+            f"{lease.key[:12]}... done in {time.perf_counter() - started:.2f}s "
+            f"({lease.spec.framework} on {lease.spec.dataset}, "
+            f"seed {lease.spec.seed}) [{executed}"
+            + (f"/{max_trials}]" if max_trials is not None else "]")
+        )
+    log(f"exiting after {executed} trial(s)")
+    return executed
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.runner.worker``); returns exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner.worker",
+        description="Execute spooled experiment trials on this machine.",
+    )
+    parser.add_argument("--spool", required=True, help="shared spool directory")
+    parser.add_argument(
+        "--cache-dir", required=True, help="shared trial-result cache directory"
+    )
+    parser.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help="exit after executing this many trials (default: unbounded)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many seconds with no pending tasks (default: wait forever)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        help="lease time-to-live in seconds (must match the submitter's)",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="sleep between empty-spool polls, in seconds",
+    )
+    parser.add_argument(
+        "--worker-id", default=None, help="identity recorded in failure logs"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-trial progress lines"
+    )
+    args = parser.parse_args(argv)
+    try:
+        run_worker(
+            args.spool,
+            args.cache_dir,
+            max_trials=args.max_trials,
+            idle_timeout=args.idle_timeout,
+            lease_ttl=args.lease_ttl,
+            poll_interval=args.poll_interval,
+            worker_id=args.worker_id,
+            quiet=args.quiet,
+        )
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

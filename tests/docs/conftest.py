@@ -1,0 +1,80 @@
+"""Shared fixtures for the documentation test suite.
+
+The docs make executable promises (fenced ``python`` blocks, relative
+links, "every public runner API is documented"); the tests in this
+directory keep them true.  The fence parser and the doc-file inventory live
+here so the snippet runner and the link checker share one source of truth.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Every markdown file whose fenced ``python`` blocks must execute and whose
+#: relative links must resolve.
+DOC_FILES = sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
+
+_FENCE = re.compile(r"^(`{3,})\s*(\S*)\s*$")
+
+
+@dataclass
+class Snippet:
+    """One fenced code block: where it came from and what it says."""
+
+    path: Path
+    language: str
+    start_line: int
+    code: str
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    """All fenced code blocks of a markdown file, in document order."""
+    snippets: list[Snippet] = []
+    fence: str | None = None
+    language = ""
+    start = 0
+    lines: list[str] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _FENCE.match(line.strip())
+        if fence is None:
+            if match:
+                fence, language, start, lines = match.group(1), match.group(2), number, []
+        elif match and match.group(1) == fence and not match.group(2):
+            snippets.append(
+                Snippet(path=path, language=language, start_line=start, code="\n".join(lines))
+            )
+            fence = None
+        else:
+            lines.append(line)
+    return snippets
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize any test taking ``doc_path`` over the doc-file inventory."""
+    if "doc_path" in metafunc.fixturenames:
+        metafunc.parametrize("doc_path", DOC_FILES, ids=lambda path: path.name)
+
+
+@pytest.fixture()
+def doc_files() -> list[Path]:
+    """The full doc-file inventory (guides + README)."""
+    return list(DOC_FILES)
+
+
+@pytest.fixture()
+def snippets_of():
+    """The fence parser, as a fixture so test modules need no cross-import."""
+    return extract_snippets
+
+
+@pytest.fixture()
+def repo_root() -> Path:
+    """Repository root directory."""
+    return REPO_ROOT

@@ -1,0 +1,61 @@
+"""Docstring-coverage floor on the experiment engine (interrogate-equivalent).
+
+``src/repro/runner`` is the subsystem other machines run — its public
+surface (module docstrings, public classes, public functions and methods)
+must be fully documented.  This is the same check ``interrogate
+--fail-under`` would run, implemented over ``ast`` so it needs no extra
+dependency and runs in the tier-1 suite; CI's docs job executes it.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro.runner
+
+RUNNER_DIR = Path(repro.runner.__file__).resolve().parent
+
+#: Fraction of public objects that must carry a docstring.  The floor is
+#: total on purpose: the engine is the documented example the docs tree
+#: points into.
+COVERAGE_FLOOR = 1.0
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _objects_of(path: Path):
+    """Yield ``(qualified name, has_docstring)`` for the module's public API."""
+    tree = ast.parse(path.read_text())
+    module_name = f"repro.runner.{path.stem}" if path.stem != "__init__" else "repro.runner"
+    yield module_name, ast.get_docstring(tree) is not None
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_public(node.name):
+            yield f"{module_name}.{node.name}", ast.get_docstring(node) is not None
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            yield f"{module_name}.{node.name}", ast.get_docstring(node) is not None
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_public(
+                    member.name
+                ):
+                    yield (
+                        f"{module_name}.{node.name}.{member.name}",
+                        ast.get_docstring(member) is not None,
+                    )
+
+
+def test_runner_docstring_coverage_floor():
+    objects = [
+        entry
+        for path in sorted(RUNNER_DIR.glob("*.py"))
+        for entry in _objects_of(path)
+    ]
+    assert len(objects) >= 40, "runner public surface unexpectedly small"
+    missing = [name for name, documented in objects if not documented]
+    coverage = 1.0 - len(missing) / len(objects)
+    assert coverage >= COVERAGE_FLOOR, (
+        f"runner docstring coverage {coverage:.2%} below floor "
+        f"{COVERAGE_FLOOR:.0%}; missing: {missing}"
+    )

@@ -1,0 +1,79 @@
+"""Link checker for the docs tree and the README.
+
+Every relative markdown link must point at a file that exists in the
+repository, and every ``#anchor`` fragment must match a heading of the
+target file under GitHub's slugification rules.  External links are only
+sanity-checked for scheme (no network access in tests).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+#: ``[text](target)`` — deliberately simple; none of our docs use images,
+#: reference-style links or nested brackets.
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+_ALLOWED_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    text = heading.strip().strip("#").strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _heading_slugs(path: Path) -> set[str]:
+    slugs = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+        elif not in_fence and line.startswith("#"):
+            slugs.add(_github_slug(line))
+    return slugs
+
+
+def _links_of(path: Path) -> list[str]:
+    in_fence = False
+    links = []
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+        elif not in_fence:
+            links.extend(_LINK.findall(line))
+    return links
+
+
+def test_relative_links_resolve(doc_path, repo_root):
+    problems = []
+    for target in _links_of(doc_path):
+        if target.startswith(_ALLOWED_SCHEMES):
+            continue
+        if target.startswith("#"):
+            file_part, anchor = "", target[1:]
+        else:
+            file_part, _, anchor = target.partition("#")
+        destination = (doc_path.parent / file_part).resolve() if file_part else doc_path
+        if file_part and not destination.exists():
+            problems.append(f"{target}: no such file {destination}")
+            continue
+        if file_part and repo_root not in destination.parents and destination != repo_root:
+            problems.append(f"{target}: escapes the repository")
+            continue
+        if anchor and destination.suffix == ".md":
+            if anchor not in _heading_slugs(destination):
+                problems.append(f"{target}: no heading with slug #{anchor}")
+    assert not problems, f"broken links in {doc_path.name}: {problems}"
+
+
+def test_docs_are_linked_from_readme(repo_root):
+    """Every guide is reachable from the README (the docs' front door)."""
+    readme_links = set(_links_of(repo_root / "README.md"))
+    for guide in sorted((repo_root / "docs").glob("*.md")):
+        assert any(
+            link.split("#")[0] == f"docs/{guide.name}" for link in readme_links
+        ), f"README does not link docs/{guide.name}"

@@ -1,0 +1,437 @@
+"""Tests for the distributed backend: spool broker, worker daemon, engine path.
+
+Three layers, cheapest first:
+
+* unit tests of the lease protocol (atomicity, expiry, failure logs) driven
+  entirely in-process;
+* worker-loop tests calling :func:`repro.runner.worker.run_worker` directly;
+* integration tests running real ``python -m repro.runner.worker``
+  subprocesses against a grid submitted with
+  ``ExecutionConfig(mode="distributed")``, including the
+  dead-worker/lease-re-release recovery path and byte-identity with the
+  serial engine.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.experiments import EvaluationProtocol
+from repro.runner import (
+    ExecutionConfig,
+    GridJob,
+    RemoteTrialError,
+    ResultCache,
+    SpoolBroker,
+    SpoolTimeout,
+    TrialSpec,
+    expand_jobs,
+    last_report,
+    run_experiment_grid,
+)
+from repro.runner.worker import run_worker
+
+FAST = EvaluationProtocol(n_iterations=2, eval_every=2, n_seeds=2, dataset_scale=0.15)
+
+
+def _spec(seed=0, framework="uncertainty", dataset="youtube"):
+    return TrialSpec(framework=framework, dataset=dataset, seed=seed, protocol=FAST)
+
+
+def _grid_jobs():
+    return [
+        GridJob(key="uncertainty", framework="uncertainty", dataset="youtube"),
+        GridJob(key="nemo", framework="nemo", dataset="youtube"),
+    ]
+
+
+def _backdate(path, seconds=3600):
+    stamp = path.stat().st_mtime - seconds
+    os.utime(path, (stamp, stamp))
+
+
+def _spawn_worker(subprocess_env, spool, cache_dir, *extra):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.runner.worker",
+            "--spool",
+            str(spool),
+            "--cache-dir",
+            str(cache_dir),
+            "--idle-timeout",
+            "10",
+            "--quiet",
+            *extra,
+        ],
+        env=subprocess_env,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestLeaseProtocol:
+    def test_enqueue_creates_one_task_per_key(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        assert broker.enqueue(spec) is True
+        assert broker.enqueue(spec) is False  # idempotent: same content key
+        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0}
+
+    def test_lease_is_exclusive_and_round_trips_the_spec(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("w1")
+        assert lease is not None
+        assert lease.key == spec.key
+        assert lease.spec == spec
+        assert broker.lease_next("w2") is None  # claimed: nothing left
+        broker.complete(lease)
+        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0}
+
+    def test_racing_leases_have_exactly_one_winner(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        broker.enqueue(_spec())
+        barrier = threading.Barrier(8)
+
+        def claim():
+            barrier.wait()
+            return broker.lease_next()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            wins = [lease for lease in pool.map(lambda _: claim(), range(8)) if lease]
+        assert len(wins) == 1
+
+    def test_enqueue_skips_actively_leased_trials(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        broker.enqueue(spec)
+        broker.lease_next()
+        assert broker.enqueue(spec) is False  # a worker is on it
+        assert broker.counts()["tasks"] == 0
+
+    def test_release_reoffers_the_trial(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next()
+        broker.release(lease)
+        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0}
+        assert broker.lease_next().key == spec.key
+
+    def test_corrupt_task_file_is_quarantined(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        broker.enqueue(_spec())
+        broker.task_path(_spec()).write_bytes(b"not a pickle")
+        assert broker.lease_next() is None
+        corrupt = list(broker.leases_dir.glob("*.corrupt"))
+        assert len(corrupt) == 1
+        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0}
+
+
+class TestCrashRecovery:
+    def test_expired_lease_is_reoffered(self, tmp_path):
+        broker = SpoolBroker(tmp_path, lease_ttl=5)
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("doomed")
+        _backdate(lease.lease_path)
+        assert broker.release_expired() == 1
+        assert broker.counts()["tasks"] == 1
+        assert broker.lease_next().key == spec.key
+
+    def test_fresh_lease_survives_the_sweep(self, tmp_path):
+        broker = SpoolBroker(tmp_path, lease_ttl=3600)
+        broker.enqueue(_spec())
+        broker.lease_next()
+        assert broker.release_expired() == 0
+        assert broker.counts()["leases"] == 1
+
+    def test_sweep_is_scoped_to_the_submitters_keys(self, tmp_path):
+        broker = SpoolBroker(tmp_path, lease_ttl=5)
+        mine, theirs = _spec(seed=1), _spec(seed=2)
+        for spec in (mine, theirs):
+            broker.enqueue(spec)
+            _backdate(broker.lease_next().lease_path)
+        assert broker.release_expired(keys=[mine.key]) == 1
+        assert broker.counts() == {"tasks": 1, "leases": 1, "failed": 0}
+
+    def test_heartbeat_keeps_a_lease_alive(self, tmp_path):
+        broker = SpoolBroker(tmp_path, lease_ttl=5)
+        broker.enqueue(_spec())
+        lease = broker.lease_next()
+        _backdate(lease.lease_path)
+        broker.heartbeat(lease)  # what the worker's background thread does
+        assert broker.release_expired() == 0
+
+    def test_dropping_an_already_reoffered_lease_is_not_a_release(self, tmp_path):
+        """Two submitters policing one spool must not double-count a re-offer."""
+        broker = SpoolBroker(tmp_path, lease_ttl=5)
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("doomed")
+        _backdate(lease.lease_path)
+        assert broker.release_expired() == 1  # submitter 1 re-offers
+        # Simulate submitter 2's sweep finding the same expired lease still
+        # on disk next to the re-offered task (the unlink raced).
+        lease.lease_path.write_bytes(b"stale")
+        _backdate(lease.lease_path)
+        assert broker.release_expired() == 0  # cleanup, not a second re-offer
+        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0}
+
+    def test_revoked_claim_cannot_write_a_failure_log(self, tmp_path):
+        """A stale holder's local error must not abort the healthy retry."""
+        broker = SpoolBroker(tmp_path, lease_ttl=5)
+        spec = _spec()
+        broker.enqueue(spec)
+        stale = broker.lease_next("stalled-worker")
+        _backdate(stale.lease_path)
+        broker.release_expired()  # claim revoked, trial re-offered
+        fresh = broker.lease_next("healthy-worker")
+        assert fresh is not None and fresh.lease_path != stale.lease_path
+        broker.fail(stale, "stalled-worker", RuntimeError("local OOM"), "tb")
+        assert broker.failure_for(spec.key) is None  # log suppressed
+        assert fresh.lease_path.exists()  # the live claim is untouched
+        broker.complete(stale)  # ownership also protects complete()
+        assert fresh.lease_path.exists()
+
+    def test_wait_timeout_extends_while_a_lease_is_fresh(self, tmp_path):
+        """The timeout detects abandonment, not long trials."""
+        import time
+
+        from repro.runner import ResultCache
+
+        broker = SpoolBroker(tmp_path / "spool", lease_ttl=1.0)
+        spec = _spec()
+        broker.enqueue(spec)
+        broker.lease_next("slow-but-alive")  # fresh mtime, never heartbeats
+        start = time.monotonic()
+        with pytest.raises(SpoolTimeout):
+            broker.wait([spec], ResultCache(tmp_path / "cache"), timeout=0.4)
+        # The first deadline (0.4s) was extended because the lease was
+        # fresh; only after the TTL expired it (>= 1s) could abandonment be
+        # declared.
+        assert time.monotonic() - start >= 1.0
+
+
+class TestWorkerLoop:
+    def test_worker_executes_and_caches(self, tmp_path):
+        broker = SpoolBroker(tmp_path / "spool")
+        cache = ResultCache(tmp_path / "cache")
+        specs = [_spec(seed=s) for s in (1, 2)]
+        for spec in specs:
+            broker.enqueue(spec)
+        executed = run_worker(
+            tmp_path / "spool", tmp_path / "cache", idle_timeout=0.05, quiet=True
+        )
+        assert executed == 2
+        assert all(cache.get(spec) is not None for spec in specs)
+        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0}
+
+    def test_worker_respects_max_trials(self, tmp_path):
+        broker = SpoolBroker(tmp_path / "spool")
+        for seed in (1, 2, 3):
+            broker.enqueue(_spec(seed=seed))
+        executed = run_worker(
+            tmp_path / "spool", tmp_path / "cache", max_trials=2, quiet=True
+        )
+        assert executed == 2
+        assert broker.counts()["tasks"] == 1
+
+    def test_worker_skips_already_cached_trials(self, tmp_path):
+        broker = SpoolBroker(tmp_path / "spool")
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec()
+        from repro.runner import run_trial
+
+        cache.put(spec, run_trial(spec))
+        broker.enqueue(spec)
+        executed = run_worker(
+            tmp_path / "spool", tmp_path / "cache", idle_timeout=0.05, quiet=True
+        )
+        assert executed == 0  # served by content addressing, not re-executed
+        assert broker.counts()["tasks"] == 0
+
+    def test_failing_trial_writes_a_failure_log(self, tmp_path):
+        broker = SpoolBroker(tmp_path / "spool")
+        bad = _spec(dataset="no-such-dataset")
+        broker.enqueue(bad)
+        executed = run_worker(
+            tmp_path / "spool",
+            tmp_path / "cache",
+            idle_timeout=0.05,
+            worker_id="w-under-test",
+            quiet=True,
+        )
+        assert executed == 0
+        failure = broker.failure_for(bad.key)
+        assert failure is not None
+        assert failure["worker"] == "w-under-test"
+        assert "no-such-dataset" in failure["traceback"]
+        # The submitter surfaces the remote traceback.
+        with pytest.raises(RemoteTrialError, match="no-such-dataset"):
+            broker.wait([bad], ResultCache(tmp_path / "cache"), timeout=5)
+
+    def test_enqueue_clears_stale_failure_logs(self, tmp_path):
+        broker = SpoolBroker(tmp_path / "spool")
+        bad = _spec(dataset="no-such-dataset")
+        broker.enqueue(bad)
+        run_worker(tmp_path / "spool", tmp_path / "cache", idle_timeout=0.05, quiet=True)
+        assert broker.failure_for(bad.key) is not None
+        broker.enqueue(bad)  # the retry path after fixing the environment
+        assert broker.failure_for(bad.key) is None
+        assert broker.counts()["tasks"] == 1
+
+
+class TestExecutionConfig:
+    def test_distributed_requires_spool_and_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="spool_dir"):
+            ExecutionConfig(mode="distributed", cache_dir=tmp_path)
+        with pytest.raises(ValueError, match="cache_dir"):
+            ExecutionConfig(mode="distributed", spool_dir=tmp_path)
+        with pytest.raises(ValueError, match="cache_dir"):
+            ExecutionConfig(
+                mode="distributed", spool_dir=tmp_path, cache_dir=tmp_path, use_cache=False
+            )
+
+    def test_unknown_mode_and_preset_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ExecutionConfig(mode="cluster")
+        with pytest.raises(ValueError, match="preset"):
+            ExecutionConfig.coerce("cluster")
+        with pytest.raises(TypeError):
+            ExecutionConfig.coerce(4)
+
+    def test_string_presets(self, tmp_path, monkeypatch):
+        assert ExecutionConfig.coerce(None) == ExecutionConfig()
+        assert ExecutionConfig.coerce("serial").workers == 1
+        assert ExecutionConfig.coerce("parallel").workers == 0
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(tmp_path / "spool"))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        coerced = ExecutionConfig.coerce("distributed")
+        assert coerced.mode == "distributed"
+        assert str(coerced.spool_dir) == str(tmp_path / "spool")
+
+    def test_wait_timeout_without_workers(self, tmp_path):
+        execution = ExecutionConfig(
+            mode="distributed",
+            spool_dir=tmp_path / "spool",
+            cache_dir=tmp_path / "cache",
+            wait_timeout=0.3,
+        )
+        with pytest.raises(SpoolTimeout, match="workers running"):
+            run_experiment_grid(_grid_jobs()[:1], FAST, execution)
+        # The trials stayed enqueued for whenever workers do appear.
+        assert SpoolBroker(tmp_path / "spool").counts()["tasks"] == FAST.n_seeds
+
+
+class TestDistributedGrid:
+    def test_matches_serial_run_with_two_worker_processes(self, tmp_path, subprocess_env):
+        spool, cache_dir = tmp_path / "spool", tmp_path / "cache"
+        workers = [_spawn_worker(subprocess_env, spool, cache_dir) for _ in range(2)]
+        try:
+            distributed = run_experiment_grid(
+                _grid_jobs(),
+                FAST,
+                ExecutionConfig(
+                    mode="distributed",
+                    spool_dir=spool,
+                    cache_dir=cache_dir,
+                    wait_timeout=120,
+                ),
+            )
+        finally:
+            exit_codes = [worker.wait(timeout=60) for worker in workers]
+        assert exit_codes == [0, 0]
+        report = last_report()
+        assert report.n_remote == 2 * FAST.n_seeds
+        assert report.n_executed == 0
+        assert (
+            report.n_remote + report.n_cached + report.n_deduplicated == report.n_trials
+        )
+
+        serial = run_experiment_grid(_grid_jobs(), FAST, ExecutionConfig(workers=1))
+        for key in serial:
+            for ours, theirs in zip(serial[key].histories, distributed[key].histories):
+                assert pickle.dumps(ours) == pickle.dumps(theirs)
+
+    def test_dead_workers_trial_is_rereleased_and_completed(
+        self, tmp_path, subprocess_env
+    ):
+        """Killing a worker mid-grid: its lease expires and another finishes."""
+        spool, cache_dir = tmp_path / "spool", tmp_path / "cache"
+        broker = SpoolBroker(spool, lease_ttl=1.0)
+        jobs = _grid_jobs()[:1]
+        specs = [spec for _, spec in expand_jobs(jobs, FAST)]
+        # Simulate a worker that claimed a trial and was then SIGKILLed: the
+        # lease exists, nobody heartbeats it, and its mtime is already old.
+        broker.enqueue(specs[0])
+        dead_lease = broker.lease_next("killed-mid-trial")
+        assert dead_lease is not None
+        _backdate(dead_lease.lease_path)
+
+        live = _spawn_worker(subprocess_env, spool, cache_dir, "--lease-ttl", "1.0")
+        try:
+            results = run_experiment_grid(
+                jobs,
+                FAST,
+                ExecutionConfig(
+                    mode="distributed",
+                    spool_dir=spool,
+                    cache_dir=cache_dir,
+                    lease_ttl=1.0,
+                    wait_timeout=120,
+                ),
+            )
+        finally:
+            assert live.wait(timeout=60) == 0
+        report = last_report()
+        assert report.n_remote == FAST.n_seeds
+        assert report.n_released >= 1  # crash recovery actually fired
+        assert len(results[jobs[0].key].histories) == FAST.n_seeds
+
+    def test_warm_rerun_is_served_from_cache_without_workers(self, tmp_path):
+        spool, cache_dir = tmp_path / "spool", tmp_path / "cache"
+        jobs = _grid_jobs()[:1]
+        # Cold run: an in-thread worker drains the spool while we wait.
+        worker = threading.Thread(
+            target=run_worker,
+            args=(spool, cache_dir),
+            kwargs={"max_trials": FAST.n_seeds, "quiet": True},
+        )
+        worker.start()
+        execution = ExecutionConfig(
+            mode="distributed", spool_dir=spool, cache_dir=cache_dir, wait_timeout=120
+        )
+        try:
+            cold = run_experiment_grid(jobs, FAST, execution)
+        finally:
+            worker.join(timeout=60)
+        assert last_report().n_remote == FAST.n_seeds
+        # Warm rerun: every trial is a cache hit; no worker needed, the
+        # spool is never touched (wait_timeout would fire if it were).
+        warm = run_experiment_grid(jobs, FAST, execution)
+        report = last_report()
+        assert report.n_cached == FAST.n_seeds and report.n_remote == 0
+        for ours, theirs in zip(
+            cold[jobs[0].key].histories, warm[jobs[0].key].histories
+        ):
+            assert pickle.dumps(ours) == pickle.dumps(theirs)
+
+    def test_vanished_task_is_reenqueued_by_the_submitter(self, tmp_path):
+        spool, cache_dir = tmp_path / "spool", tmp_path / "cache"
+        spec = _spec()
+        broker = SpoolBroker(spool)
+        broker.enqueue(spec)
+        broker.task_path(spec).unlink()  # spool wiped under us
+        with pytest.raises(SpoolTimeout):
+            broker.wait([spec], ResultCache(cache_dir), timeout=0.3)
+        assert broker.counts()["tasks"] == 1  # self-healed before timing out

@@ -47,15 +47,40 @@ class TestRoundTrip:
     @pytest.mark.parametrize(
         "garbage", [b"not a pickle", b"garbage\n", b"", b"\x80\x04truncated"]
     )
-    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path, garbage):
         # Unpickling garbage raises different exception types depending on
         # the bytes (UnpicklingError, ValueError, EOFError, ...); all of
-        # them must read as a miss.
+        # them must read as a miss — and move the bad file aside so the
+        # recompute's put() lands in a clean slot.
         cache = ResultCache(tmp_path)
         spec = _spec()
         path = cache.put(spec, _history())
         path.write_bytes(garbage)
         assert cache.get(spec) is None
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.read_bytes() == garbage
+
+    def test_truncated_entry_recompute_lands_after_quarantine(self, tmp_path):
+        """The multiple-writer scenario: corrupt entry -> miss -> rewrite -> hit."""
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        path = cache.put(spec, _history())
+        path.write_bytes(path.read_bytes()[:10])  # truncated by a dying writer
+        assert cache.get(spec) is None
+        assert spec not in cache  # __contains__ agrees once quarantined
+        cache.put(spec, _history())
+        assert cache.get(spec) is not None
+        assert len(cache) == 1  # the .corrupt file is not counted as an entry
+
+    def test_wrong_typed_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        path = cache.put(spec, _history())
+        path.write_bytes(pickle.dumps({"not": "a RunHistory"}))
+        assert cache.get(spec) is None
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
 
     def test_clear_removes_entries(self, tmp_path):
         cache = ResultCache(tmp_path)
