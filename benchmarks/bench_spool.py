@@ -1,0 +1,191 @@
+"""Micro-benchmark: spool-broker contention — sharded+batched vs flat layout.
+
+Drains the same task set twice with racing worker threads and compares the
+spool round-trips the two layouts spend per executed trial:
+
+* **flat baseline** (the pre-sharding layout): every task directly under
+  ``tasks/``, every worker scanning the same sorted listing and claiming one
+  task per scan — all workers race the lowest-key task, so claims burn
+  failed renames and every single lease costs a directory listing;
+* **sharded + batched**: tasks sharded by dataset, workers claiming
+  ``claim_batch`` tasks per shard listing in randomised shard/scan order
+  with affinity to the previously fruitful shard.
+
+No trials are executed — claims are completed immediately — so the numbers
+isolate pure spool-protocol cost.  The comparison asserts the headline
+contention fix: at the default 8 workers x 200 tasks the sharded+batched
+layout spends **>=5x fewer failed rename attempts** and **>=4x fewer
+directory listings** per executed trial.  A second, sharded-only smoke test
+bounds renames-per-claim for CI (2 workers there; see the workflow).
+
+Environment knobs:
+
+* ``REPRO_SPOOL_BENCH_WORKERS``  racing worker threads (default 8)
+* ``REPRO_SPOOL_BENCH_TASKS``    tasks to drain (default 200)
+* ``REPRO_SPOOL_BENCH_DATASETS`` dataset shards the tasks spread over (default 8)
+* ``REPRO_SPOOL_BENCH_BATCH``    claim-batch size for the sharded run (default 16)
+* ``REPRO_SPOOL_BENCH_MAX_RENAMES_PER_CLAIM``
+                                 smoke-test ceiling on sharded
+                                 renames-per-claim (default 2.0)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.experiments import EvaluationProtocol
+from repro.runner import SpoolBroker, TrialSpec
+
+N_WORKERS = int(os.environ.get("REPRO_SPOOL_BENCH_WORKERS", 8))
+N_TASKS = int(os.environ.get("REPRO_SPOOL_BENCH_TASKS", 200))
+N_DATASETS = int(os.environ.get("REPRO_SPOOL_BENCH_DATASETS", 8))
+CLAIM_BATCH = int(os.environ.get("REPRO_SPOOL_BENCH_BATCH", 16))
+MAX_RENAMES_PER_CLAIM = float(
+    os.environ.get("REPRO_SPOOL_BENCH_MAX_RENAMES_PER_CLAIM", 2.0)
+)
+
+_PROTOCOL = EvaluationProtocol(n_iterations=1, eval_every=1, n_seeds=1, dataset_scale=0.1)
+
+
+def _specs(n_tasks: int, n_datasets: int) -> list[TrialSpec]:
+    # The trials are never executed, so the dataset names only need to be
+    # distinct shard labels, not registered corpora.
+    return [
+        TrialSpec(
+            framework="uncertainty",
+            dataset=f"corpus-{i % n_datasets}",
+            seed=i,
+            protocol=_PROTOCOL,
+        )
+        for i in range(n_tasks)
+    ]
+
+
+@dataclass
+class DrainResult:
+    """Aggregated spool round-trips of one racing drain."""
+
+    claims: int
+    failed_renames: int
+    listings: int
+    claimed_keys: list[str]
+
+    def per_trial(self, count: int) -> float:
+        """*count* normalised per executed (claimed) trial."""
+        return count / max(self.claims, 1)
+
+
+def _drain(spool, specs, n_workers, shard_by, scan_order, claim_batch) -> DrainResult:
+    """Race *n_workers* threads over one spool until it is empty."""
+    submitter = SpoolBroker(spool, shard_by=shard_by)
+    for spec in specs:
+        assert submitter.enqueue(spec)
+    total = len(specs)
+    brokers = [
+        SpoolBroker(spool, shard_by=shard_by, scan_order=scan_order)
+        for _ in range(n_workers)
+    ]
+    barrier = threading.Barrier(n_workers)
+    claimed: list[list[str]] = [[] for _ in range(n_workers)]
+    done = threading.Event()
+
+    def work(index: int) -> None:
+        broker = brokers[index]
+        barrier.wait()
+        while not done.is_set():
+            before = broker.stats.listings
+            leases = broker.lease_batch(f"bench-{index}", limit=claim_batch)
+            if not leases:
+                # An empty sweep is idle polling, not drain cost: a real
+                # worker paces it with poll_interval regardless of layout,
+                # so it must not dilute the per-executed-trial comparison.
+                broker.stats.listings = before
+                return
+            for lease in leases:
+                claimed[index].append(lease.key)
+                broker.complete(lease)
+            if sum(len(c) for c in claimed) >= total:
+                # All tasks claimed: signal the fleet so nobody burns a
+                # final full-spool scan just to discover emptiness.
+                done.set()
+                return
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n_workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads), "drain wedged"
+    return DrainResult(
+        claims=sum(broker.stats.claims for broker in brokers),
+        failed_renames=sum(broker.stats.failed_renames for broker in brokers),
+        listings=sum(broker.stats.listings for broker in brokers),
+        claimed_keys=[key for per_worker in claimed for key in per_worker],
+    )
+
+
+def _report(label: str, result: DrainResult) -> None:
+    print(
+        f"  {label:16s} claims={result.claims:4d}  "
+        f"failed_renames={result.failed_renames:5d} "
+        f"({result.per_trial(result.failed_renames):.3f}/trial)  "
+        f"listings={result.listings:5d} "
+        f"({result.per_trial(result.listings):.3f}/trial)"
+    )
+
+
+def test_sharded_batched_spool_cuts_contention(tmp_path):
+    """Sharded+batched claims beat the flat layout >=5x on failed renames
+    and >=4x on listings per executed trial (8 workers x 200 tasks default)."""
+    specs = _specs(N_TASKS, N_DATASETS)
+    expected = sorted(spec.key for spec in specs)
+
+    flat = _drain(
+        tmp_path / "flat", specs, N_WORKERS,
+        shard_by="none", scan_order="sorted", claim_batch=1,
+    )
+    sharded = _drain(
+        tmp_path / "sharded", specs, N_WORKERS,
+        shard_by="dataset", scan_order="random", claim_batch=CLAIM_BATCH,
+    )
+    print(f"\nspool contention @ {N_WORKERS} workers x {N_TASKS} tasks:")
+    _report("flat (PR 4)", flat)
+    _report("sharded+batched", sharded)
+
+    # Correctness first: both drains execute every task exactly once.
+    assert sorted(flat.claimed_keys) == expected
+    assert sorted(sharded.claimed_keys) == expected
+    if N_WORKERS != 8 or N_TASKS != 200:
+        # The fixed >=5x/>=4x bounds are calibrated for the default
+        # 8 workers x 200 tasks geometry (less contention at smaller
+        # scale shrinks the flat baseline's waste, not the fix's win);
+        # with the env knobs changed, report the numbers without judging.
+        print("  (ratio thresholds skipped: calibrated for 8 workers x 200 tasks)")
+        return
+    # The headline contention fix, per executed trial.
+    assert flat.per_trial(flat.failed_renames) >= 5 * sharded.per_trial(
+        max(sharded.failed_renames, 1)
+    ), "sharding+batching no longer cuts failed claim renames >=5x"
+    assert flat.per_trial(flat.listings) >= 4 * sharded.per_trial(sharded.listings), (
+        "batch claims no longer cut directory listings >=4x"
+    )
+
+
+def test_sharded_spool_renames_per_claim_bounded(tmp_path):
+    """CI contention smoke: a sharded+batched drain stays under a generous
+    renames-per-claim ceiling — a regression that re-serialises workers onto
+    one listing fails loudly here."""
+    specs = _specs(N_TASKS, N_DATASETS)
+    sharded = _drain(
+        tmp_path / "sharded", specs, N_WORKERS,
+        shard_by="dataset", scan_order="random", claim_batch=CLAIM_BATCH,
+    )
+    assert sorted(sharded.claimed_keys) == sorted(spec.key for spec in specs)
+    renames_per_claim = sharded.per_trial(sharded.failed_renames) + 1.0
+    print(
+        f"\nsharded spool smoke @ {N_WORKERS} workers x {N_TASKS} tasks: "
+        f"renames/claim={renames_per_claim:.3f} (ceiling {MAX_RENAMES_PER_CLAIM})"
+    )
+    assert renames_per_claim <= MAX_RENAMES_PER_CLAIM

@@ -18,7 +18,8 @@ shared spool/cache directory, e.g. an NFS mount):
 Usage::
 
     python examples/distributed_grid.py [--dataset youtube] [--iterations 10] \
-        [--num-workers 2] [--seeds 2] [--keep-dirs]
+        [--num-workers 2] [--seeds 2] [--shard-by dataset] [--claim-batch 8] \
+        [--keep-dirs]
 """
 
 from __future__ import annotations
@@ -34,10 +35,19 @@ import tempfile
 import repro
 from repro.datasets import DATASET_PROFILES
 from repro.experiments import EvaluationProtocol
-from repro.runner import ExecutionConfig, GridJob, last_report, run_experiment_grid
+from repro.runner import (
+    DEFAULT_CLAIM_BATCH,
+    SHARD_POLICIES,
+    ExecutionConfig,
+    GridJob,
+    last_report,
+    run_experiment_grid,
+)
 
 
-def spawn_worker(spool: str, cache_dir: str, index: int) -> subprocess.Popen:
+def spawn_worker(
+    spool: str, cache_dir: str, index: int, claim_batch: int
+) -> subprocess.Popen:
     """Start one worker daemon as a fully independent subprocess."""
     src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
     env = dict(os.environ)
@@ -54,6 +64,8 @@ def spawn_worker(spool: str, cache_dir: str, index: int) -> subprocess.Popen:
             cache_dir,
             "--idle-timeout",
             "5",
+            "--claim-batch",
+            str(claim_batch),
             "--worker-id",
             f"example-{index}",
         ],
@@ -69,6 +81,11 @@ def main() -> None:
     parser.add_argument("--scale", type=float, default=0.3)
     parser.add_argument("--num-workers", type=int, default=2,
                         help="independent worker processes to spawn")
+    parser.add_argument("--shard-by", default="dataset", choices=SHARD_POLICIES,
+                        help="spool shard policy (dataset keeps workers on "
+                             "corpora they already generated)")
+    parser.add_argument("--claim-batch", type=int, default=DEFAULT_CLAIM_BATCH,
+                        help="tasks each worker claims per spool scan")
     parser.add_argument("--work-dir", default=None,
                         help="spool/cache parent directory (default: a temp dir)")
     parser.add_argument("--keep-dirs", action="store_true",
@@ -90,8 +107,12 @@ def main() -> None:
         for framework in ("activedp", "uncertainty")
     ]
 
-    print(f"Spawning {args.num_workers} worker daemon(s) against {spool} ...")
-    workers = [spawn_worker(spool, cache_dir, i) for i in range(args.num_workers)]
+    print(f"Spawning {args.num_workers} worker daemon(s) against {spool} "
+          f"(shard_by={args.shard_by}, claim_batch={args.claim_batch}) ...")
+    workers = [
+        spawn_worker(spool, cache_dir, i, args.claim_batch)
+        for i in range(args.num_workers)
+    ]
     try:
         print(f"Submitting {len(jobs)} job(s) x {args.seeds} seed(s) distributed ...")
         distributed = run_experiment_grid(
@@ -102,6 +123,8 @@ def main() -> None:
                 spool_dir=spool,
                 cache_dir=cache_dir,
                 wait_timeout=600,
+                shard_by=args.shard_by,
+                claim_batch=args.claim_batch,
             ),
         )
         print(f"  engine: {last_report()}")

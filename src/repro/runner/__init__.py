@@ -7,8 +7,8 @@ One orchestration path for every experiment grid in the reproduction:
 * :mod:`repro.runner.executor` — the per-trial loop and process-pool
   scheduling with a serial fallback;
 * :mod:`repro.runner.broker` — filesystem-spool work queue for distributing
-  trials across machines (atomic rename leases, TTL + heartbeat crash
-  recovery, failure logs);
+  trials across machines (dataset-sharded task layout, atomic rename leases
+  claimed in batches, TTL + heartbeat crash recovery, failure logs);
 * :mod:`repro.runner.worker` — the worker daemon
   (``python -m repro.runner.worker``) that leases and executes spooled
   trials anywhere the spool and cache directories are visible (imported
@@ -25,10 +25,13 @@ protocol, and ``docs/adding_experiments.md`` for how to add a grid.
 from repro.runner.spec import CACHE_FORMAT_VERSION, TrialSpec
 from repro.runner.cache import ResultCache
 from repro.runner.broker import (
+    DEFAULT_CLAIM_BATCH,
     DEFAULT_LEASE_TTL,
+    SHARD_POLICIES,
     LeasedTrial,
     RemoteTrialError,
     SpoolBroker,
+    SpoolStats,
     SpoolTimeout,
 )
 from repro.runner.executor import execute_trials, run_trial, run_trial_on_split
@@ -47,12 +50,15 @@ from repro.runner.engine import (
 __all__ = [
     "nest_results",
     "CACHE_FORMAT_VERSION",
+    "DEFAULT_CLAIM_BATCH",
     "DEFAULT_LEASE_TTL",
+    "SHARD_POLICIES",
     "TrialSpec",
     "ResultCache",
     "LeasedTrial",
     "RemoteTrialError",
     "SpoolBroker",
+    "SpoolStats",
     "SpoolTimeout",
     "execute_trials",
     "run_trial",

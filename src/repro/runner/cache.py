@@ -99,6 +99,37 @@ class ResultCache:
         atomic_write_bytes(path, pickle.dumps(history, protocol=pickle.HIGHEST_PROTOCOL))
         return path
 
+    def keys_present(self, specs) -> set[str]:
+        """Which of *specs* (specs or raw keys) have entries on disk.
+
+        One directory listing per distinct key-prefix shard instead of one
+        ``stat`` per key: this is what lets a polling submitter
+        (:meth:`SpoolBroker.wait <repro.runner.broker.SpoolBroker.wait>`)
+        watch thousands of pending trials without stat-storming a shared
+        fileserver on every backoff round.  Entries appearing concurrently
+        with the listing may be missed; the caller's next round sees them.
+        """
+        wanted = {
+            spec.key if isinstance(spec, TrialSpec) else str(spec)
+            for spec in specs
+        }
+        if len(wanted) <= 32:
+            # For a handful of keys, a stat each beats listing whole
+            # prefix directories: a long-lived shared cache can hold
+            # hundreds of entries per prefix, and the snapshot only pays
+            # off when the pending set is large.
+            return {key for key in wanted if self.path_for(key).exists()}
+        present: set[str] = set()
+        for prefix in {key[:2] for key in wanted}:
+            try:
+                names = os.listdir(self.root / prefix)
+            except OSError:
+                continue  # shard not created yet: nothing cached there
+            for name in names:
+                if name.endswith(".pkl") and name[:-4] in wanted:
+                    present.add(name[:-4])
+        return present
+
     def __contains__(self, spec: TrialSpec | str) -> bool:
         return self.path_for(spec).exists()
 

@@ -32,7 +32,12 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.core.results import RunHistory
-from repro.runner.broker import DEFAULT_LEASE_TTL, SpoolBroker
+from repro.runner.broker import (
+    DEFAULT_CLAIM_BATCH,
+    DEFAULT_LEASE_TTL,
+    SHARD_POLICIES,
+    SpoolBroker,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.executor import execute_trials
 from repro.runner.spec import TrialSpec
@@ -77,6 +82,17 @@ class ExecutionConfig:
     wait_timeout:
         Give up (``SpoolTimeout``) after this many seconds with trials
         still outstanding; ``None`` waits forever.
+    shard_by:
+        Spool-shard policy for ``mode="distributed"`` enqueues:
+        ``"dataset"`` (default) files each trial under its dataset's shard
+        so workers keep generated corpora warm, ``"hash"`` spreads by key
+        prefix, ``"none"`` writes the legacy flat layout.  Workers drain
+        every layout regardless.
+    claim_batch:
+        Tasks a worker claims per spool scan (the workers' ``--claim-batch``;
+        the submitter never claims, so this knob only matters to helpers
+        that spawn workers from this config, e.g.
+        ``examples/distributed_grid.py``).
     """
 
     workers: int = 1
@@ -86,12 +102,20 @@ class ExecutionConfig:
     spool_dir: str | Path | None = None
     lease_ttl: float = DEFAULT_LEASE_TTL
     wait_timeout: float | None = None
+    shard_by: str = "dataset"
+    claim_batch: int = DEFAULT_CLAIM_BATCH
 
     def __post_init__(self):
         if self.mode not in ("local", "distributed"):
             raise ValueError(
                 f"mode must be 'local' or 'distributed', got {self.mode!r}"
             )
+        if self.shard_by not in SHARD_POLICIES:
+            raise ValueError(
+                f"shard_by must be one of {SHARD_POLICIES}, got {self.shard_by!r}"
+            )
+        if self.claim_batch < 1:
+            raise ValueError("claim_batch must be at least 1")
         if self.mode == "distributed":
             if self.spool_dir is None:
                 raise ValueError(
@@ -115,7 +139,8 @@ class ExecutionConfig:
         passes through; a string names a preset — ``"serial"``,
         ``"parallel"`` (all cores) or ``"distributed"`` (spool/cache
         directories from the ``REPRO_SPOOL_DIR`` / ``REPRO_CACHE_DIR``
-        environment variables).
+        environment variables, spool sharding and worker batch size from
+        ``REPRO_SPOOL_SHARD_BY`` / ``REPRO_CLAIM_BATCH``).
         """
         if value is None:
             return cls()
@@ -131,6 +156,10 @@ class ExecutionConfig:
                     mode="distributed",
                     spool_dir=os.environ.get("REPRO_SPOOL_DIR"),
                     cache_dir=os.environ.get("REPRO_CACHE_DIR"),
+                    shard_by=os.environ.get("REPRO_SPOOL_SHARD_BY", "dataset"),
+                    claim_batch=int(
+                        os.environ.get("REPRO_CLAIM_BATCH", DEFAULT_CLAIM_BATCH)
+                    ),
                 )
             raise ValueError(
                 f"unknown execution preset {value!r} "
@@ -151,7 +180,9 @@ class ExecutionConfig:
         """The spool broker for ``mode="distributed"``."""
         if self.spool_dir is None:
             raise ValueError("no spool_dir configured")
-        return SpoolBroker(self.spool_dir, lease_ttl=self.lease_ttl)
+        return SpoolBroker(
+            self.spool_dir, lease_ttl=self.lease_ttl, shard_by=self.shard_by
+        )
 
 
 @dataclass

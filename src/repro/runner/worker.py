@@ -6,12 +6,20 @@ and the cache directory::
     python -m repro.runner.worker --spool /shared/spool --cache-dir /shared/cache
 
 The worker loops forever (until ``--max-trials`` or ``--idle-timeout``):
-lease the next pending trial from the :class:`~repro.runner.broker.SpoolBroker`,
-heartbeat the lease from a background thread while executing it with the
-engine's canonical :func:`~repro.runner.executor.run_trial` loop, write the
-history through the shared :class:`~repro.runner.cache.ResultCache`, drop the
-lease.  A trial that raises is recorded as a failure log for the submitter to
-surface; the worker itself keeps serving other trials.
+claim a batch of pending trials from the
+:class:`~repro.runner.broker.SpoolBroker` (``--claim-batch`` tasks per shard
+listing — one directory scan amortised over the whole batch, and consecutive
+batches stick to the same dataset shard so generated corpora stay warm),
+heartbeat every held lease from a background thread, and execute the batch
+with the engine's canonical :func:`~repro.runner.executor.run_trial` loop.
+Each result is written through the shared
+:class:`~repro.runner.cache.ResultCache` *while its lease is still
+heartbeating* — a slow publish (NFS, large history) must not let the lease
+expire and the completed trial get re-executed elsewhere — and only then is
+the lease dropped.  A trial that raises is recorded as a failure log for the
+submitter to surface; the worker itself keeps serving other trials.  On
+shutdown (interrupt), every lease not yet completed — including claimed but
+unstarted batch members — is voluntarily re-offered.
 
 Workers are stateless and interchangeable: all coordination lives in the
 spool's rename-based lease protocol, and results are content-addressed, so
@@ -29,7 +37,12 @@ import threading
 import time
 import traceback
 
-from repro.runner.broker import DEFAULT_LEASE_TTL, LeasedTrial, SpoolBroker
+from repro.runner.broker import (
+    DEFAULT_CLAIM_BATCH,
+    DEFAULT_LEASE_TTL,
+    LeasedTrial,
+    SpoolBroker,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.executor import run_trial
 
@@ -40,24 +53,39 @@ def default_worker_id() -> str:
 
 
 class _Heartbeat(threading.Thread):
-    """Background thread touching the lease file while a trial executes.
+    """Background thread touching every held lease while a batch executes.
 
-    The worker's main thread is busy inside the trial for potentially many
-    TTLs, so liveness must be signalled from the side; a missed heartbeat
-    (this thread dying with the process) is exactly what lets the submitter
-    re-offer the trial.
+    The worker's main thread is busy inside a trial for potentially many
+    TTLs, so liveness must be signalled from the side — for the trial being
+    executed *and* for the claimed-but-unstarted remainder of the batch,
+    which would otherwise age out and be re-offered mid-batch.  A missed
+    heartbeat (this thread dying with the process) is exactly what lets the
+    submitter re-offer the trials.
     """
 
-    def __init__(self, broker: SpoolBroker, lease: LeasedTrial, interval: float):
+    def __init__(self, broker: SpoolBroker, leases: list[LeasedTrial], interval: float):
         super().__init__(daemon=True)
         self._broker = broker
-        self._lease = lease
+        self._leases = list(leases)
+        self._lock = threading.Lock()
         self._interval = interval
         self._stopped = threading.Event()
 
     def run(self) -> None:  # pragma: no cover - exercised via integration
         while not self._stopped.wait(self._interval):
-            self._broker.heartbeat(self._lease)
+            for lease in self.outstanding():
+                self._broker.heartbeat(lease)
+
+    def outstanding(self) -> list[LeasedTrial]:
+        """The leases still held (claimed, neither completed nor released)."""
+        with self._lock:
+            return list(self._leases)
+
+    def discard(self, lease: LeasedTrial) -> None:
+        """Stop heartbeating *lease* (it was completed, failed or released)."""
+        with self._lock:
+            if lease in self._leases:
+                self._leases.remove(lease)
 
     def stop(self) -> None:
         """Stop heartbeating and wait for the thread to exit."""
@@ -72,6 +100,7 @@ def run_worker(
     idle_timeout: float | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     poll_interval: float = 0.2,
+    claim_batch: int = DEFAULT_CLAIM_BATCH,
     worker_id: str | None = None,
     quiet: bool = False,
 ) -> int:
@@ -94,11 +123,22 @@ def run_worker(
         healthy heartbeat is never mistaken for death.
     poll_interval:
         Sleep between empty-spool polls.
+    claim_batch:
+        Tasks claimed per spool scan (clamped so ``max_trials`` is never
+        over-claimed); ``1`` restores one-listing-per-claim behaviour.
+        Claimed leases are heartbeated until executed, so a batch pins its
+        trials to this worker: at the tail of a grid a large batch can
+        serialise the last trials onto one worker while the rest idle.
+        Keep it well below (pending trials / workers) when individual
+        trials are long; the listing amortisation matters on huge grids of
+        short trials, where the tail is negligible.
     worker_id:
         Identity recorded in failure logs; defaults to ``host-pid``.
     quiet:
         Suppress per-trial progress lines on stderr.
     """
+    if claim_batch < 1:
+        raise ValueError("claim_batch must be at least 1")
     broker = SpoolBroker(spool, lease_ttl=lease_ttl)
     cache = ResultCache(cache_dir)
     identity = worker_id or default_worker_id()
@@ -112,8 +152,9 @@ def run_worker(
     idle_since = time.monotonic()
     log(f"serving spool {broker.root} -> cache {cache.root}")
     while max_trials is None or executed < max_trials:
-        lease = broker.lease_next(identity)
-        if lease is None:
+        want = claim_batch if max_trials is None else min(claim_batch, max_trials - executed)
+        leases = broker.lease_batch(identity, limit=want)
+        if not leases:
             if (
                 idle_timeout is not None
                 and time.monotonic() - idle_since >= idle_timeout
@@ -121,53 +162,77 @@ def run_worker(
                 break
             time.sleep(poll_interval)
             continue
-        idle_since = time.monotonic()
-        if cache.get(lease.key) is not None:
-            # Another worker (or a previous life of this trial, completed
-            # right before its holder crashed) already produced the result:
-            # content addressing makes re-execution pure waste.
-            log(f"{lease.key[:12]}... already cached, skipping")
-            broker.complete(lease)
-            continue
-        heartbeat = _Heartbeat(broker, lease, heartbeat_interval)
+        heartbeat = _Heartbeat(broker, leases, heartbeat_interval)
         heartbeat.start()
         try:
-            started = time.perf_counter()
-            history = run_trial(lease.spec)
-        except (KeyboardInterrupt, SystemExit):
+            for lease in leases:
+                if cache.get(lease.key) is not None:
+                    # Another worker (or a previous life of this trial,
+                    # completed right before its holder crashed) already
+                    # produced the result: content addressing makes
+                    # re-execution pure waste.
+                    log(f"{lease.key[:12]}... already cached, skipping")
+                    broker.complete(lease)
+                    heartbeat.discard(lease)
+                    continue
+                try:
+                    started = time.perf_counter()
+                    history = run_trial(lease.spec)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as error:
+                    broker.fail(lease, identity, error, traceback.format_exc())
+                    heartbeat.discard(lease)
+                    log(f"{lease.key[:12]}... FAILED: {error!r}")
+                    continue
+                try:
+                    # The lease is still heartbeating here: a publish slower
+                    # than the TTL (NFS stall, large history) must not look
+                    # like a dead worker and get the finished trial re-run.
+                    cache.put(lease.key, history)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as error:
+                    # Publishing failed (disk full, NFS hiccup): this is
+                    # worker-side infrastructure, not a property of the
+                    # trial, so no failure log — re-offer the trial for any
+                    # worker (including this one, once the condition clears)
+                    # and keep the daemon alive.  The sleep paces the retry
+                    # loop when the condition persists.
+                    broker.release(lease)
+                    heartbeat.discard(lease)
+                    log(f"{lease.key[:12]}... cache write failed ({error!r}); re-offered")
+                    time.sleep(poll_interval)
+                    continue
+                broker.complete(lease)
+                heartbeat.discard(lease)
+                executed += 1
+                log(
+                    f"{lease.key[:12]}... done in {time.perf_counter() - started:.2f}s "
+                    f"({lease.spec.framework} on {lease.spec.dataset}, "
+                    f"seed {lease.spec.seed}) [{executed}"
+                    + (f"/{max_trials}]" if max_trials is not None else "]")
+                )
+        except BaseException:
+            # Shutdown (or an error escaping the loop itself, e.g. the
+            # failure-log write blowing up) mid-batch: stop heartbeating and
+            # re-offer every still-held lease — the in-flight trial and the
+            # claimed-but-unstarted remainder — so other workers pick them
+            # up now instead of after a TTL expiry.  Leaking the heartbeat
+            # here would keep the leases fresh forever and wedge the
+            # submitter's abandonment detection.
+            remaining = heartbeat.outstanding()
+            for lease in remaining:
+                broker.release(lease)
+                heartbeat.discard(lease)
             heartbeat.stop()
-            broker.release(lease)
-            log(f"interrupted, re-offered {lease.key[:12]}...")
+            log(f"aborting batch, re-offered {len(remaining)} lease(s)")
             raise
-        except BaseException as error:
-            heartbeat.stop()
-            broker.fail(lease, identity, error, traceback.format_exc())
-            log(f"{lease.key[:12]}... FAILED: {error!r}")
-            continue
         heartbeat.stop()
-        try:
-            cache.put(lease.key, history)
-        except (KeyboardInterrupt, SystemExit):
-            broker.release(lease)
-            raise
-        except Exception as error:
-            # Publishing failed (disk full, NFS hiccup): this is worker-side
-            # infrastructure, not a property of the trial, so no failure log
-            # — re-offer the trial for any worker (including this one, once
-            # the condition clears) and keep the daemon alive.  The sleep
-            # paces the retry loop when the condition persists.
-            broker.release(lease)
-            log(f"{lease.key[:12]}... cache write failed ({error!r}); re-offered")
-            time.sleep(poll_interval)
-            continue
-        broker.complete(lease)
-        executed += 1
-        log(
-            f"{lease.key[:12]}... done in {time.perf_counter() - started:.2f}s "
-            f"({lease.spec.framework} on {lease.spec.dataset}, "
-            f"seed {lease.spec.seed}) [{executed}"
-            + (f"/{max_trials}]" if max_trials is not None else "]")
-        )
+        # The idle clock starts when the batch *finishes*, not when it was
+        # claimed: a batch longer than idle_timeout must not make the first
+        # empty poll after it look like idle_timeout seconds of idleness.
+        idle_since = time.monotonic()
     log(f"exiting after {executed} trial(s)")
     return executed
 
@@ -207,6 +272,13 @@ def main(argv: list[str] | None = None) -> int:
         help="sleep between empty-spool polls, in seconds",
     )
     parser.add_argument(
+        "--claim-batch",
+        type=int,
+        default=int(os.environ.get("REPRO_CLAIM_BATCH", DEFAULT_CLAIM_BATCH)),
+        help="tasks claimed per spool scan (env REPRO_CLAIM_BATCH; "
+        f"default {DEFAULT_CLAIM_BATCH}; 1 = one listing per claim)",
+    )
+    parser.add_argument(
         "--worker-id", default=None, help="identity recorded in failure logs"
     )
     parser.add_argument(
@@ -221,6 +293,7 @@ def main(argv: list[str] | None = None) -> int:
             idle_timeout=args.idle_timeout,
             lease_ttl=args.lease_ttl,
             poll_interval=args.poll_interval,
+            claim_batch=args.claim_batch,
             worker_id=args.worker_id,
             quiet=args.quiet,
         )

@@ -14,11 +14,13 @@ Three layers, cheapest first:
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import subprocess
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -83,7 +85,7 @@ class TestLeaseProtocol:
         spec = _spec()
         assert broker.enqueue(spec) is True
         assert broker.enqueue(spec) is False  # idempotent: same content key
-        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0}
+        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0, "corrupt": 0}
 
     def test_lease_is_exclusive_and_round_trips_the_spec(self, tmp_path):
         broker = SpoolBroker(tmp_path)
@@ -95,7 +97,7 @@ class TestLeaseProtocol:
         assert lease.spec == spec
         assert broker.lease_next("w2") is None  # claimed: nothing left
         broker.complete(lease)
-        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0}
+        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0, "corrupt": 0}
 
     def test_racing_leases_have_exactly_one_winner(self, tmp_path):
         broker = SpoolBroker(tmp_path)
@@ -124,17 +126,286 @@ class TestLeaseProtocol:
         broker.enqueue(spec)
         lease = broker.lease_next()
         broker.release(lease)
-        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0}
+        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0, "corrupt": 0}
         assert broker.lease_next().key == spec.key
 
-    def test_corrupt_task_file_is_quarantined(self, tmp_path):
+    def test_corrupt_task_file_is_quarantined_next_to_the_task(self, tmp_path):
         broker = SpoolBroker(tmp_path)
-        broker.enqueue(_spec())
-        broker.task_path(_spec()).write_bytes(b"not a pickle")
+        spec = _spec()
+        broker.enqueue(spec)
+        broker.task_path(spec).write_bytes(b"not a pickle")
         assert broker.lease_next() is None
-        corrupt = list(broker.leases_dir.glob("*.corrupt"))
-        assert len(corrupt) == 1
-        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0}
+        # Quarantined as <key>.task.corrupt in the task's home shard — NOT
+        # inside leases/, where nothing ever cleans it up and post-mortems
+        # would conflate it with a real claim.
+        quarantine = broker.task_path(spec).with_name(f"{spec.key}.task.corrupt")
+        assert quarantine.exists()
+        assert not list(broker.leases_dir.glob("*"))
+        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0, "corrupt": 1}
+
+    def test_quarantine_survives_a_concurrently_pruned_shard_dir(
+        self, tmp_path, monkeypatch
+    ):
+        """Claiming the last (corrupt) task empties its shard; if a sweep
+        prunes the directory before the quarantine rename lands, the rename
+        must recreate it — otherwise the garbage lingers in leases/ looking
+        like a live claim."""
+        import shutil
+
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        broker.enqueue(spec)
+        broker.task_path(spec).write_bytes(b"not a pickle")
+        shard_dir = broker.tasks_dir / "youtube"
+        real_replace = os.replace
+        raced = []
+
+        def racing_replace(src, dst):
+            if not raced and str(dst).endswith(".task.corrupt"):
+                raced.append(True)
+                shutil.rmtree(shard_dir)  # the concurrent sweep's rmdir
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", racing_replace)
+        assert broker.lease_next("w1") is None
+        assert (shard_dir / f"{spec.key}.task.corrupt").exists()
+        assert not list(broker.leases_dir.glob("*"))
+        assert broker.counts()["corrupt"] == 1
+
+    def test_enqueue_keeps_the_failure_log_when_the_write_fails(
+        self, tmp_path, monkeypatch
+    ):
+        """Clearing the log is conditional on the retry task actually
+        landing: a failed write must not discard the failure evidence."""
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        broker._ensure_dirs()
+        broker.failure_path(spec.key).write_text(
+            json.dumps({"key": spec.key, "worker": "w1", "error": "boom", "traceback": "tb"})
+        )
+
+        def failing_write(path, data):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.runner.broker.atomic_write_bytes", failing_write)
+        with pytest.raises(OSError):
+            broker.enqueue(spec)
+        assert broker.failure_for(spec.key) is not None  # evidence preserved
+
+    def test_enqueue_leaves_a_leased_trials_failure_log_alone(self, tmp_path):
+        """Two-submitter regression: enqueue must only clear a failure log
+        when it actually (re-)writes a task file — not for a currently
+        leased, currently failing trial whose log the first submitter's
+        wait() is about to raise."""
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("w1")  # a worker holds the trial...
+        broker.failure_path(spec.key).write_text(
+            json.dumps({"key": spec.key, "worker": "w1", "error": "boom", "traceback": "tb"})
+        )  # ...and its failure log has just landed
+        # A second submitter re-offers the same trial: nothing to write
+        # (it is leased), so nothing may be cleared either.
+        assert SpoolBroker(tmp_path).enqueue(spec) is False
+        assert broker.failure_for(spec.key) is not None
+        broker.complete(lease)
+        with pytest.raises(RemoteTrialError, match="boom"):
+            broker.wait([spec], ResultCache(tmp_path / "cache"), timeout=5)
+        # Once nothing is pending/leased, enqueue IS the retry path and
+        # clears the stale log along with writing the fresh task file.
+        assert broker.enqueue(spec) is True
+        assert broker.failure_for(spec.key) is None
+
+
+class TestShardedSpool:
+    def test_enqueue_files_tasks_under_the_dataset_shard(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        assert broker.enqueue(spec) is True
+        task = broker.tasks_dir / "youtube" / f"{spec.key}.task"
+        assert task.exists() and task == broker.task_path(spec)
+        assert broker.counts()["tasks"] == 1
+
+    def test_shard_policies(self, tmp_path):
+        spec = _spec()
+        by_hash = SpoolBroker(tmp_path / "h", shard_by="hash")
+        assert by_hash.task_path(spec).parent.name == spec.key[:2]
+        flat = SpoolBroker(tmp_path / "f", shard_by="none")
+        assert flat.task_path(spec).parent == flat.tasks_dir
+        # A raw key carries no dataset: dataset sharding falls back to hash.
+        sharded = SpoolBroker(tmp_path / "d")
+        assert sharded.shard_for(spec.key) == spec.key[:2]
+        with pytest.raises(ValueError, match="shard_by"):
+            SpoolBroker(tmp_path, shard_by="bogus")
+
+    def test_lease_records_its_shard_and_release_restores_it(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("w1")
+        assert lease.lease_path.name.split(".")[1] == "youtube"
+        broker.release(lease)
+        assert (broker.tasks_dir / "youtube" / f"{spec.key}.task").exists()
+
+    def test_lease_batch_caps_and_drains_exactly_once(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        for seed in range(5):
+            broker.enqueue(_spec(seed=seed, dataset="youtube"))
+        for seed in range(3):
+            broker.enqueue(_spec(seed=seed, dataset="imdb"))
+        claimed: list[str] = []
+        while True:
+            batch = broker.lease_batch("w1", limit=4)
+            if not batch:
+                break
+            assert len(batch) <= 4  # the cap is never exceeded
+            claimed.extend(lease.key for lease in batch)
+            for lease in batch:
+                broker.complete(lease)
+        assert len(claimed) == len(set(claimed)) == 8
+
+    def test_drained_shard_directories_are_removed(self, tmp_path):
+        """Sweeping a drained shard prunes its directory, so idle polling on
+        a finished grid goes back to one listing per poll."""
+        broker = SpoolBroker(tmp_path)
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("w1")
+        broker.complete(lease)
+        assert broker.lease_batch("w1", limit=1) == []  # probes + prunes
+        assert not (broker.tasks_dir / "youtube").exists()
+        # ...and an enqueue simply recreates the shard.
+        assert broker.enqueue(spec) is True
+        assert broker.task_path(spec).exists()
+
+    def test_consecutive_batches_prefer_the_same_shard(self, tmp_path):
+        """Dataset affinity: a worker that claimed from one shard keeps
+        draining it before moving on (its generated corpus stays warm)."""
+        broker = SpoolBroker(tmp_path)
+        for seed in range(6):
+            broker.enqueue(_spec(seed=seed, dataset="youtube"))
+            broker.enqueue(_spec(seed=seed, dataset="imdb"))
+        first = broker.lease_batch("w1", limit=2)
+        first_shard = first[0].lease_path.name.split(".")[1]
+        for _ in range(2):  # the shard still has tasks: stick to it
+            batch = broker.lease_batch("w1", limit=2)
+            assert {l.lease_path.name.split(".")[1] for l in batch} == {first_shard}
+
+    def test_enqueue_sees_tasks_filed_under_any_shard_policy(self, tmp_path):
+        """Submitters with different shard_by settings must still write one
+        task file per content key, not one per policy."""
+        spec = _spec()
+        assert SpoolBroker(tmp_path, shard_by="hash").enqueue(spec) is True
+        for policy in ("dataset", "hash", "none"):
+            assert SpoolBroker(tmp_path, shard_by=policy).enqueue(spec) is False
+        assert SpoolBroker(tmp_path).counts()["tasks"] == 1
+
+    def test_legacy_flat_spool_round_trips(self, tmp_path):
+        """A PR 4 unsharded spool still drains, and its tasks keep the flat
+        location and legacy lease-name format through expiry and release."""
+        legacy = SpoolBroker(tmp_path, shard_by="none", lease_ttl=5)
+        spec = _spec()
+        legacy.enqueue(spec)
+        flat_task = legacy.tasks_dir / f"{spec.key}.task"
+        assert flat_task.exists()
+        sharded = SpoolBroker(tmp_path, lease_ttl=5)  # default dataset sharding
+        assert sharded.enqueue(spec) is False  # pending flat counts as pending
+        lease = sharded.lease_next("w1")
+        assert lease is not None and lease.key == spec.key
+        assert len(lease.lease_path.name.split(".")) == 4  # legacy claim name
+        _backdate(lease.lease_path)
+        assert sharded.release_expired() == 1
+        assert flat_task.exists()  # restored flat, not migrated into a shard
+        release = sharded.lease_next("w2")
+        sharded.release(release)
+        assert flat_task.exists()
+
+    def test_stats_count_listings_and_renames(self, tmp_path):
+        broker = SpoolBroker(tmp_path)
+        for seed in range(4):
+            broker.enqueue(_spec(seed=seed))
+        before = broker.stats.listings
+        batch = broker.lease_batch("w1", limit=4)
+        assert len(batch) == 4
+        assert broker.stats.claims == 4
+        assert broker.stats.rename_attempts == 4
+        assert broker.stats.failed_renames == 0
+        # One batch = one tasks/ listing + one shard listing.
+        assert broker.stats.listings - before == 2
+        assert broker.stats.renames_per_claim() == 1.0
+
+
+class TestContention:
+    N_WORKERS = 8
+
+    def _drain(self, spool, specs, shard_by, scan_order, batch):
+        submitter = SpoolBroker(spool, shard_by=shard_by)
+        for spec in specs:
+            assert submitter.enqueue(spec)
+        brokers = [
+            SpoolBroker(spool, shard_by=shard_by, scan_order=scan_order)
+            for _ in range(self.N_WORKERS)
+        ]
+        barrier = threading.Barrier(self.N_WORKERS)
+        claimed: list[list[str]] = [[] for _ in range(self.N_WORKERS)]
+        batch_sizes: list[int] = []
+
+        def work(i):
+            barrier.wait()
+            while True:
+                leases = brokers[i].lease_batch(f"w{i}", limit=batch)
+                if not leases:
+                    return
+                batch_sizes.append(len(leases))
+                for lease in leases:
+                    claimed[i].append(lease.key)
+                    brokers[i].complete(lease)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(self.N_WORKERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert max(batch_sizes) <= batch  # the cap is never exceeded
+        keys = [key for per_worker in claimed for key in per_worker]
+        failed = sum(broker.stats.failed_renames for broker in brokers)
+        return keys, failed
+
+    def test_sharded_batched_race_is_exactly_once_and_less_contended(self, tmp_path):
+        """8 racing workers over a 2-shard spool: every task executes exactly
+        once, and the sharded+batched layout loses strictly fewer claim
+        renames than the flat sorted-scan baseline."""
+        specs = [
+            _spec(seed=seed, dataset=dataset)
+            for seed in range(40)
+            for dataset in ("youtube", "imdb")
+        ]
+        expected = sorted(spec.key for spec in specs)
+
+        flat_keys, flat_failed = self._drain(
+            tmp_path / "flat", specs, shard_by="none", scan_order="sorted", batch=1
+        )
+        sharded_keys, sharded_failed = self._drain(
+            tmp_path / "sharded", specs, shard_by="dataset", scan_order="random", batch=8
+        )
+        assert sorted(flat_keys) == expected  # exactly once, nothing lost
+        assert sorted(sharded_keys) == expected
+        assert sharded_failed < flat_failed
+
+    def test_interrupted_worker_releases_its_unstarted_batch(self, tmp_path, monkeypatch):
+        broker = SpoolBroker(tmp_path / "spool")
+        for seed in range(4):
+            broker.enqueue(_spec(seed=seed))
+
+        def interrupted_trial(spec):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.runner.worker.run_trial", interrupted_trial)
+        with pytest.raises(KeyboardInterrupt):
+            run_worker(tmp_path / "spool", tmp_path / "cache", claim_batch=4, quiet=True)
+        # The interrupted trial AND the claimed-but-unstarted remainder of
+        # the batch are all re-offered; nothing is left leased.
+        assert broker.counts() == {"tasks": 4, "leases": 0, "failed": 0, "corrupt": 0}
 
 
 class TestCrashRecovery:
@@ -162,7 +433,18 @@ class TestCrashRecovery:
             broker.enqueue(spec)
             _backdate(broker.lease_next().lease_path)
         assert broker.release_expired(keys=[mine.key]) == 1
-        assert broker.counts() == {"tasks": 1, "leases": 1, "failed": 0}
+        assert broker.counts() == {"tasks": 1, "leases": 1, "failed": 0, "corrupt": 0}
+
+    def test_expired_sharded_lease_is_restored_to_its_shard(self, tmp_path):
+        broker = SpoolBroker(tmp_path, lease_ttl=5)
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("doomed")
+        _backdate(lease.lease_path)
+        assert broker.release_expired() == 1
+        # Re-offered into tasks/youtube/, not some other location: crash
+        # recovery preserves the task's dataset affinity.
+        assert (broker.tasks_dir / "youtube" / f"{spec.key}.task").exists()
 
     def test_heartbeat_keeps_a_lease_alive(self, tmp_path):
         broker = SpoolBroker(tmp_path, lease_ttl=5)
@@ -185,7 +467,7 @@ class TestCrashRecovery:
         lease.lease_path.write_bytes(b"stale")
         _backdate(lease.lease_path)
         assert broker.release_expired() == 0  # cleanup, not a second re-offer
-        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0}
+        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0, "corrupt": 0}
 
     def test_revoked_claim_cannot_write_a_failure_log(self, tmp_path):
         """A stale holder's local error must not abort the healthy retry."""
@@ -234,7 +516,7 @@ class TestWorkerLoop:
         )
         assert executed == 2
         assert all(cache.get(spec) is not None for spec in specs)
-        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0}
+        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0, "corrupt": 0}
 
     def test_worker_respects_max_trials(self, tmp_path):
         broker = SpoolBroker(tmp_path / "spool")
@@ -280,6 +562,96 @@ class TestWorkerLoop:
         with pytest.raises(RemoteTrialError, match="no-such-dataset"):
             broker.wait([bad], ResultCache(tmp_path / "cache"), timeout=5)
 
+    def test_error_escaping_the_batch_loop_releases_and_stops_heartbeating(
+        self, tmp_path, monkeypatch
+    ):
+        """If even the failure-log write blows up, the worker must not leak
+        its heartbeat thread — a leaked heartbeat keeps the batch's leases
+        eternally fresh and defeats the submitter's abandonment timeout."""
+        broker = SpoolBroker(tmp_path / "spool")
+        for seed in range(3):
+            broker.enqueue(_spec(seed=seed))
+
+        def bad_trial(spec):
+            raise ValueError("trial blew up")
+
+        def bad_fail(lease, worker_id, error, traceback_text):
+            raise OSError("failed/ is on a full disk")
+
+        monkeypatch.setattr("repro.runner.worker.run_trial", bad_trial)
+        monkeypatch.setattr(SpoolBroker, "fail", staticmethod(bad_fail))
+        threads_before = set(threading.enumerate())
+        with pytest.raises(OSError, match="full disk"):
+            run_worker(tmp_path / "spool", tmp_path / "cache", claim_batch=3, quiet=True)
+        # Everything claimed was re-offered and nothing is still heartbeating.
+        assert broker.counts()["tasks"] == 3
+        assert broker.counts()["leases"] == 0
+        leaked = [t for t in threading.enumerate() if t not in threads_before]
+        assert leaked == []  # the heartbeat thread was stopped and joined
+
+    def test_idle_clock_starts_after_the_batch_finishes(self, tmp_path, monkeypatch):
+        """A batch longer than idle_timeout must not make the first empty
+        poll after it count as idle_timeout seconds of idleness — the
+        worker has to keep serving the spool for idle_timeout AFTER its
+        last batch."""
+        from repro.runner import run_trial
+
+        spec = _spec()
+        broker = SpoolBroker(tmp_path / "spool")
+        broker.enqueue(spec)
+        history = run_trial(spec)
+
+        def slow_trial(s):
+            time.sleep(0.5)
+            return history
+
+        monkeypatch.setattr("repro.runner.worker.run_trial", slow_trial)
+        started = time.monotonic()
+        executed = run_worker(
+            tmp_path / "spool", tmp_path / "cache", idle_timeout=0.3, quiet=True
+        )
+        elapsed = time.monotonic() - started
+        assert executed == 1
+        # trial (0.5s) + a full idle window (0.3s) before giving up; the
+        # pre-fix worker exited right after the trial (elapsed ~0.5s).
+        assert elapsed >= 0.75
+
+    def test_slow_result_publish_keeps_the_lease_heartbeating(self, tmp_path, monkeypatch):
+        """A cache.put slower than the TTL (NFS stall, huge history) must not
+        let the lease expire: the completed trial would be re-offered and
+        re-executed by another worker."""
+        from repro.runner import run_trial
+
+        spool, cache_dir = tmp_path / "spool", tmp_path / "cache"
+        spec = _spec()
+        broker = SpoolBroker(spool, lease_ttl=1.0)
+        broker.enqueue(spec)
+        history = run_trial(spec)
+        monkeypatch.setattr("repro.runner.worker.run_trial", lambda s: history)
+
+        real_put = ResultCache.put
+
+        def slow_put(self, key, value):
+            time.sleep(2.5)  # well past the 1.0s TTL
+            return real_put(self, key, value)
+
+        monkeypatch.setattr(ResultCache, "put", slow_put)
+        released = []
+        worker = threading.Thread(
+            target=run_worker,
+            args=(spool, cache_dir),
+            kwargs={"max_trials": 1, "lease_ttl": 1.0, "quiet": True},
+        )
+        worker.start()
+        deadline = time.monotonic() + 4.0
+        while worker.is_alive() and time.monotonic() < deadline:
+            released.append(broker.release_expired())
+            time.sleep(0.2)
+        worker.join(timeout=30)
+        assert sum(released) == 0  # the heartbeat outlived the slow publish
+        assert ResultCache(cache_dir).get(spec) is not None
+        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0, "corrupt": 0}
+
     def test_enqueue_clears_stale_failure_logs(self, tmp_path):
         broker = SpoolBroker(tmp_path / "spool")
         bad = _spec(dataset="no-such-dataset")
@@ -319,6 +691,28 @@ class TestExecutionConfig:
         coerced = ExecutionConfig.coerce("distributed")
         assert coerced.mode == "distributed"
         assert str(coerced.spool_dir) == str(tmp_path / "spool")
+
+    def test_shard_and_claim_batch_knobs_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="shard_by"):
+            ExecutionConfig(shard_by="bogus")
+        with pytest.raises(ValueError, match="claim_batch"):
+            ExecutionConfig(claim_batch=0)
+        execution = ExecutionConfig(
+            mode="distributed",
+            spool_dir=tmp_path / "spool",
+            cache_dir=tmp_path / "cache",
+            shard_by="hash",
+        )
+        assert execution.broker().shard_by == "hash"
+
+    def test_distributed_preset_reads_shard_and_batch_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(tmp_path / "spool"))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_SPOOL_SHARD_BY", "hash")
+        monkeypatch.setenv("REPRO_CLAIM_BATCH", "3")
+        coerced = ExecutionConfig.coerce("distributed")
+        assert coerced.shard_by == "hash"
+        assert coerced.claim_batch == 3
 
     def test_wait_timeout_without_workers(self, tmp_path):
         execution = ExecutionConfig(
@@ -423,6 +817,43 @@ class TestDistributedGrid:
         assert report.n_cached == FAST.n_seeds and report.n_remote == 0
         for ours, theirs in zip(
             cold[jobs[0].key].histories, warm[jobs[0].key].histories
+        ):
+            assert pickle.dumps(ours) == pickle.dumps(theirs)
+
+    def test_legacy_unsharded_spool_drains_with_byte_identity(self, tmp_path):
+        """A spool pre-populated in the PR 4 flat layout still drains through
+        the sharded engine — no duplicate enqueues, identical results."""
+        spool, cache_dir = tmp_path / "spool", tmp_path / "cache"
+        jobs = _grid_jobs()[:1]
+        specs = [spec for _, spec in expand_jobs(jobs, FAST)]
+        legacy = SpoolBroker(spool, shard_by="none")
+        for spec in specs:
+            assert legacy.enqueue(spec) is True
+            assert (spool / "tasks" / f"{spec.key}.task").exists()
+        worker = threading.Thread(
+            target=run_worker,
+            args=(spool, cache_dir),
+            kwargs={"max_trials": len(specs), "quiet": True},
+        )
+        worker.start()
+        try:
+            distributed = run_experiment_grid(
+                jobs,
+                FAST,
+                ExecutionConfig(
+                    mode="distributed",
+                    spool_dir=spool,
+                    cache_dir=cache_dir,
+                    wait_timeout=120,
+                ),
+            )
+        finally:
+            worker.join(timeout=60)
+        assert last_report().n_remote == len(specs)
+        assert SpoolBroker(spool).counts()["tasks"] == 0  # drained, no dupes
+        serial = run_experiment_grid(jobs, FAST, ExecutionConfig(workers=1))
+        for ours, theirs in zip(
+            serial[jobs[0].key].histories, distributed[jobs[0].key].histories
         ):
             assert pickle.dumps(ours) == pickle.dumps(theirs)
 

@@ -82,6 +82,37 @@ class TestRoundTrip:
         assert not path.exists()
         assert path.with_name(path.name + ".corrupt").exists()
 
+    def test_keys_present_snapshots_without_per_key_stats(self, tmp_path):
+        """One listing per key-prefix shard answers membership for a whole
+        pending set (what the polling spool submitter uses each round)."""
+        cache = ResultCache(tmp_path)
+        hits = [_spec(1), _spec(2)]
+        misses = [_spec(3), _spec(4)]
+        for spec in hits:
+            cache.put(spec, _history())
+        assert cache.keys_present([]) == set()
+        assert cache.keys_present(hits + misses) == {spec.key for spec in hits}
+        # Raw keys and specs are interchangeable, and quarantined entries
+        # (``.pkl.corrupt``) are not reported as present.
+        assert cache.keys_present([hits[0].key]) == {hits[0].key}
+        path = cache.path_for(hits[0])
+        path.rename(path.with_name(path.name + ".corrupt"))
+        assert cache.keys_present(hits) == {hits[1].key}
+
+    def test_keys_present_listing_branch_matches_stat_branch(self, tmp_path):
+        """Above the small-set threshold keys_present switches from per-key
+        stats to per-prefix listings; both must answer identically."""
+        cache = ResultCache(tmp_path)
+        specs = [_spec(seed) for seed in range(40)]
+        for spec in specs[::2]:
+            cache.put(spec, _history())
+        expected = {spec.key for spec in specs[::2]}
+        assert cache.keys_present(specs) == expected  # 40 keys: listing path
+        for spec in specs:  # one key at a time: stat path
+            assert cache.keys_present([spec]) == (
+                {spec.key} if spec.key in expected else set()
+            )
+
     def test_clear_removes_entries(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(_spec(1), _history(1))
