@@ -136,7 +136,7 @@ def _report(label: str, result: DrainResult) -> None:
     )
 
 
-def test_sharded_batched_spool_cuts_contention(tmp_path):
+def test_sharded_batched_spool_cuts_contention(tmp_path, bench_record):
     """Sharded+batched claims beat the flat layout >=5x on failed renames
     and >=4x on listings per executed trial (8 workers x 200 tasks default)."""
     specs = _specs(N_TASKS, N_DATASETS)
@@ -153,6 +153,20 @@ def test_sharded_batched_spool_cuts_contention(tmp_path):
     print(f"\nspool contention @ {N_WORKERS} workers x {N_TASKS} tasks:")
     _report("flat (PR 4)", flat)
     _report("sharded+batched", sharded)
+
+    bench_record(
+        "spool_contention",
+        {
+            "n_workers": N_WORKERS,
+            "n_tasks": N_TASKS,
+            "flat_failed_renames_per_trial": flat.per_trial(flat.failed_renames),
+            "flat_listings_per_trial": flat.per_trial(flat.listings),
+            "sharded_failed_renames_per_trial": sharded.per_trial(
+                sharded.failed_renames
+            ),
+            "sharded_listings_per_trial": sharded.per_trial(sharded.listings),
+        },
+    )
 
     # Correctness first: both drains execute every task exactly once.
     assert sorted(flat.claimed_keys) == expected

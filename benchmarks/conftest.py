@@ -106,3 +106,16 @@ def bench_execution(request) -> ExecutionConfig:
 def smallest_bench_dataset(bench_datasets) -> str:
     """The cheapest configured dataset (by synthetic corpus size)."""
     return min(bench_datasets, key=lambda name: DATASET_PROFILES[name].default_size)
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Headline-number recorder writing the repo-root ``BENCH_core.json``.
+
+    ``bench_record(name, values)`` merges *values* under the *name* key (see
+    ``benchmarks/record.py``); ``REPRO_BENCH_RECORD_FILE`` redirects the
+    output file.
+    """
+    import record
+
+    return record.record

@@ -1,0 +1,77 @@
+"""Persist headline benchmark numbers to the repo-root ``BENCH_core.json``.
+
+Every benchmark prints its summary to the pytest log, where it scrolls away.
+:func:`record` additionally merges the headline numbers — engine wall-clock,
+EM iteration totals, spool rename rates — into a single JSON file at the
+repository root, keyed by benchmark name, so consecutive runs build up a
+comparable record the repo can version.
+
+The file is read-modify-written atomically (temp file + ``os.replace``) and
+unknown keys are preserved, so benchmarks can update their own entry without
+clobbering each other's.  ``REPRO_BENCH_RECORD_FILE`` redirects the output
+(CI points it at a workspace artefact; tests point it at ``tmp_path``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: Environment variable redirecting the record file away from the repo root.
+BENCH_RECORD_ENV_VAR = "REPRO_BENCH_RECORD_FILE"
+
+#: Default location: ``BENCH_core.json`` next to the repository's ``conftest.py``.
+DEFAULT_BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def bench_file() -> Path:
+    """The record file currently in effect (env override or the default)."""
+    override = os.environ.get(BENCH_RECORD_ENV_VAR, "").strip()
+    return Path(override) if override else DEFAULT_BENCH_FILE
+
+
+def _jsonable(value):
+    """Coerce numpy scalars / paths / tuples into plain JSON values."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(entry) for entry in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def record(benchmark: str, values: dict, path: Path | None = None) -> Path:
+    """Merge *values* under the *benchmark* key of the record file.
+
+    Returns the path written.  The existing file's other entries survive; a
+    corrupt or missing file is replaced rather than raising, so one bad run
+    can never wedge the whole benchmark suite.
+    """
+    target = Path(path) if path is not None else bench_file()
+    existing: dict = {}
+    try:
+        loaded = json.loads(target.read_text())
+        if isinstance(loaded, dict):
+            existing = loaded
+    except (OSError, ValueError):
+        pass
+    existing[str(benchmark)] = _jsonable(values)
+
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=target.parent, prefix=target.name + ".", delete=False
+    )
+    try:
+        with handle:
+            json.dump(existing, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(handle.name, target)
+    except BaseException:
+        os.unlink(handle.name)
+        raise
+    return target

@@ -33,7 +33,7 @@ from repro.core.pseudo_labels import PseudoLabeledSet
 from repro.core.results import IterationRecord
 from repro.core.state import TrainingState
 from repro.labeling.lf import ABSTAIN, LabelFunction
-from repro.label_models import get_label_model
+from repro.label_models import EM_LABEL_MODELS, get_label_model
 from repro.models.logistic_regression import LogisticRegression
 from repro.models.metrics import accuracy_score
 from repro.utils.rng import RandomState, ensure_rng
@@ -73,6 +73,8 @@ class ActiveDP:
             glasso_alpha=self.config.glasso_alpha,
             min_queries=self.config.min_labelpick_queries,
             accuracy_threshold=self.config.accuracy_threshold,
+            backend=self.config.backend,
+            early_stop=self.config.adaptive_early_stop,
         )
         self.confusion = ConFusion()
 
@@ -454,7 +456,15 @@ class ActiveDP:
             return
         if not reuse:
             warm_start = self._label_model_warm_start(selected)
-            model = get_label_model(self.config.label_model, n_classes=self.n_classes)
+            kwargs = {}
+            if self.config.label_model in EM_LABEL_MODELS:
+                kwargs = {
+                    "backend": self.config.backend,
+                    "early_stop": self.config.adaptive_early_stop,
+                }
+            model = get_label_model(
+                self.config.label_model, n_classes=self.n_classes, **kwargs
+            )
             model.fit(train_matrix, warm_start=warm_start)
             state.label_model = model
             state.lm_fit_selection = selected
@@ -462,6 +472,11 @@ class ActiveDP:
             state.lm_fits += 1
             if getattr(model, "warm_started_", False):
                 state.lm_warm_fits += 1
+            if getattr(model, "converged_", False):
+                state.lm_converged_fits += 1
+            final_loss = getattr(model, "final_loss_", None)
+            if final_loss is not None:
+                state.lm_final_loss = float(final_loss)
         state.lm_proba_train = model.predict_proba(train_matrix)
         state.lm_proba_valid = model.predict_proba(
             state.valid_matrix.columns(selected)

@@ -34,6 +34,8 @@ from repro.graphical.covariance import RunningCovariance, shrink_covariance
 from repro.graphical.glasso import GraphicalLassoResult, graphical_lasso
 from repro.graphical.markov_blanket import markov_blanket
 from repro.labeling.lf import ABSTAIN, LabelFunction
+from repro.numerics import get_backend
+from repro.numerics.scores import labelpick_score_fn
 
 
 @dataclass
@@ -90,6 +92,10 @@ class LabelPickState:
         How many graphical-lasso fits ran, and how many of them resumed from
         a previous estimate (diagnostics; the warm-start benchmark reads
         them).
+    n_sweeps:
+        Cumulative outer block-coordinate sweeps across all incremental
+        glasso fits (diagnostics; surfaced per iteration as
+        ``glasso_sweeps``).
     """
 
     covariance: RunningCovariance | None = None
@@ -97,6 +103,7 @@ class LabelPickState:
     glasso_survivors: list[int] | None = None
     n_fits: int = 0
     n_warm_fits: int = 0
+    n_sweeps: int = 0
 
 
 class LabelPick:
@@ -112,6 +119,15 @@ class LabelPick:
     accuracy_threshold:
         Validation accuracy below which an LF is pruned.  ``None`` uses the
         better-than-random bound ``1 / n_classes``.
+    backend:
+        Array-backend name for the scoring reductions and glasso sweeps
+        (``None`` resolves through ``REPRO_BACKEND`` to the numpy reference
+        backend; see :mod:`repro.numerics`).
+    early_stop:
+        Judge glasso convergence relative to the covariance iterate's own
+        scale (threshold :attr:`GLASSO_EARLY_STOP_RTOL`) instead of the
+        absolute :attr:`GLASSO_TOL`.  ``False`` (default) keeps the
+        historical semantics exactly.
     """
 
     def __init__(
@@ -119,6 +135,8 @@ class LabelPick:
         glasso_alpha: float = 0.01,
         min_queries: int = 8,
         accuracy_threshold: float | None = None,
+        backend: str | None = None,
+        early_stop: bool = False,
     ):
         if glasso_alpha < 0:
             raise ValueError("glasso_alpha must be non-negative")
@@ -127,6 +145,8 @@ class LabelPick:
         self.glasso_alpha = glasso_alpha
         self.min_queries = min_queries
         self.accuracy_threshold = accuracy_threshold
+        self.backend = backend
+        self.early_stop = early_stop
 
     # ---------------------------------------------------------------- select
     def select(
@@ -218,13 +238,18 @@ class LabelPick:
         """Drop LFs whose validation accuracy is at or below *threshold*.
 
         Fully vectorised: one masked reduction over the ``(n_valid, n_lfs)``
-        matrix instead of a Python loop over columns.
+        matrix instead of a Python loop over columns, expressed as a
+        backend-pure statistic (jit-compiled on capable backends).
         """
-        valid_labels = np.asarray(valid_labels, dtype=int)
-        fired = valid_label_matrix != ABSTAIN
-        n_fired = fired.sum(axis=0)
-        n_correct = (fired & (valid_label_matrix == valid_labels[:, None])).sum(axis=0)
-        accuracy = n_correct / np.maximum(n_fired, 1)
+        backend = get_backend(self.backend)
+        scores = labelpick_score_fn(backend)
+        n_fired, accuracy = scores(
+            backend.asarray(valid_label_matrix, dtype=int),
+            backend.asarray(np.asarray(valid_labels, dtype=int), dtype=int),
+            ABSTAIN,
+        )
+        n_fired = backend.to_numpy(n_fired)
+        accuracy = backend.to_numpy(accuracy)
         # An LF that never fires on the validation set provides no evidence
         # either way; keep it (the structure step can still drop it).
         pruned_mask = (n_fired > 0) & (accuracy <= threshold)
@@ -238,6 +263,10 @@ class LabelPick:
     #: Outer-sweep budget and tolerance of the per-refit graphical lasso.
     GLASSO_MAX_ITER = 20
     GLASSO_TOL = 1e-3
+    #: Relative tolerance used instead of :attr:`GLASSO_TOL` when
+    #: ``early_stop`` is on: sweeps stop once the covariance changes by less
+    #: than 1% of its own mean absolute entry.
+    GLASSO_EARLY_STOP_RTOL = 1e-2
 
     def _markov_blanket_select(
         self,
@@ -263,7 +292,9 @@ class LabelPick:
                 alpha=self.glasso_alpha,
                 shrinkage=self.COV_SHRINKAGE,
                 max_iter=self.GLASSO_MAX_ITER,
-                tol=self.GLASSO_TOL,
+                tol=self._glasso_tol(),
+                backend=self.backend,
+                early_stop=self.early_stop,
             )
         else:
             result = self._incremental_glasso(
@@ -325,13 +356,20 @@ class LabelPick:
             alpha=self.glasso_alpha,
             from_covariance=True,
             max_iter=self.GLASSO_MAX_ITER,
-            tol=self.GLASSO_TOL,
+            tol=self._glasso_tol(),
             warm_start=state.glasso_result,
             warm_start_map=warm_start_map,
+            backend=self.backend,
+            early_stop=self.early_stop,
         )
         state.glasso_result = result
         state.glasso_survivors = list(survivors)
         state.n_fits += 1
+        state.n_sweeps += result.n_iter
         if result.warm_started:
             state.n_warm_fits += 1
         return result
+
+    def _glasso_tol(self) -> float:
+        """The glasso tolerance matching the configured stopping semantics."""
+        return self.GLASSO_EARLY_STOP_RTOL if self.early_stop else self.GLASSO_TOL

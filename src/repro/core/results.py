@@ -42,6 +42,18 @@ class IterationRecord:
         learning — *incremental path only*: with ``warm_start_labelpick``
         off, structure learning runs statelessly and these stay 0 (they
         measure carried-state fits, not whether the glasso ran at all).
+    lm_converged_fits:
+        Cumulative label-model fits that stopped on their convergence
+        criterion before exhausting ``max_iter`` (``None`` for pipelines
+        that do not report it).
+    lm_final_loss:
+        Mean per-instance negative log-likelihood of the most recent
+        label-model EM fit at this iteration (``None`` when no EM model
+        has fitted, or the pipeline does not report it).
+    glasso_sweeps:
+        Cumulative outer glasso sweeps across LabelPick's incremental
+        structure-learning fits (same incremental-path-only caveat as
+        ``glasso_fits``).
     label_coverage:
         Fraction of the training pool that received an aggregated label.
     label_accuracy:
@@ -65,6 +77,9 @@ class IterationRecord:
     al_warm_fits: int | None = None
     glasso_fits: int | None = None
     glasso_warm_fits: int | None = None
+    lm_converged_fits: int | None = None
+    lm_final_loss: float | None = None
+    glasso_sweeps: int | None = None
     label_coverage: float | None = None
     label_accuracy: float | None = None
     test_accuracy: float | None = None

@@ -60,6 +60,14 @@ class TrainingState:
         How many label-model fits ran / how many of them were EM-warm-started
         from the carried previous fit (skip-outright reuses of an unchanged
         selection count as neither).
+    lm_converged_fits:
+        How many of those fits stopped on their convergence criterion before
+        exhausting ``max_iter`` (under adaptive early stopping this should be
+        nearly all of them).
+    lm_final_loss:
+        Mean per-instance negative log-likelihood of the most recent EM fit
+        (``None`` until an EM model fits, or when the configured model does
+        not report a loss).
     al_fits, al_warm_fits:
         Same counters for the active-learning model's refits.
     labelpick:
@@ -99,6 +107,8 @@ class TrainingState:
     lm_em_iterations: int = 0
     lm_fits: int = 0
     lm_warm_fits: int = 0
+    lm_converged_fits: int = 0
+    lm_final_loss: float | None = None
     al_fits: int = 0
     al_warm_fits: int = 0
     labelpick: LabelPickState = field(default_factory=LabelPickState)
@@ -149,10 +159,13 @@ class TrainingState:
             "lm_em_iterations": self.lm_em_iterations,
             "lm_fits": self.lm_fits,
             "lm_warm_fits": self.lm_warm_fits,
+            "lm_converged_fits": self.lm_converged_fits,
+            "lm_final_loss": self.lm_final_loss,
             "al_fits": self.al_fits,
             "al_warm_fits": self.al_warm_fits,
             "glasso_fits": self.labelpick.n_fits,
             "glasso_warm_fits": self.labelpick.n_warm_fits,
+            "glasso_sweeps": self.labelpick.n_sweeps,
         }
 
     # ---------------------------------------------------------------- persist

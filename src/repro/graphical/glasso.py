@@ -15,7 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graphical.covariance import empirical_covariance
-from repro.graphical.lasso import lasso_coordinate_descent
+from repro.numerics import get_backend
+from repro.numerics.glasso import glasso_block_sweeps
 
 
 @dataclass
@@ -34,6 +35,9 @@ class GraphicalLassoResult:
         Whether the outer loop reached its tolerance before ``max_iter``.
     warm_started:
         Whether the iterates were seeded from a previous result.
+    final_change:
+        Mean absolute covariance change of the last sweep (``None`` when no
+        sweep ran).
     """
 
     covariance: np.ndarray
@@ -41,6 +45,7 @@ class GraphicalLassoResult:
     n_iter: int
     converged: bool
     warm_started: bool = False
+    final_change: float | None = None
 
 
 def graphical_lasso(
@@ -52,6 +57,8 @@ def graphical_lasso(
     shrinkage: float = 0.05,
     warm_start: GraphicalLassoResult | None = None,
     warm_start_map: np.ndarray | None = None,
+    backend: str | None = None,
+    early_stop: bool = False,
 ) -> GraphicalLassoResult:
     """Estimate a sparse precision matrix with an L1 penalty *alpha*.
 
@@ -86,6 +93,15 @@ def graphical_lasso(
         entries from the previous estimate; pairs involving a new variable
         keep the cold initialisation.  An inapplicable payload (wrong
         dimensions, out-of-range map) degrades to a cold start, never raises.
+    backend:
+        Array-backend name for the block coordinate-descent sweeps (``None``
+        resolves through ``REPRO_BACKEND`` to the numpy reference backend;
+        see :mod:`repro.numerics`).
+    early_stop:
+        Judge the mean absolute covariance change against ``tol`` *relative
+        to the iterate's own scale* instead of as an absolute threshold,
+        making the stopping rule invariant to the covariance's units.
+        ``False`` (default) keeps the historical semantics exactly.
     """
     if alpha < 0:
         raise ValueError("alpha must be non-negative")
@@ -117,34 +133,25 @@ def graphical_lasso(
             covariance.flat[:: p + 1] = emp_cov.flat[:: p + 1] + alpha
             warm_started = False
     precision = np.linalg.pinv(covariance)
-    indices = np.arange(p)
 
-    converged = False
-    n_iter = 0
-    for n_iter in range(1, max_iter + 1):
-        previous = covariance.copy()
-        for j in range(p):
-            rest = indices != j
-            sub_cov = covariance[np.ix_(rest, rest)]
-            target = emp_cov[rest, j]
-            beta = lasso_coordinate_descent(sub_cov, target, alpha)
-            covariance[rest, j] = sub_cov @ beta
-            covariance[j, rest] = covariance[rest, j]
-
-            # Recover the corresponding precision entries (standard glasso
-            # update): theta_jj = 1 / (w_jj - w_12^T beta).
-            denom = covariance[j, j] - covariance[rest, j] @ beta
-            denom = max(denom, 1e-12)
-            precision[j, j] = 1.0 / denom
-            precision[rest, j] = -beta / denom
-            precision[j, rest] = precision[rest, j]
-        change = np.mean(np.abs(covariance - previous))
-        if change < tol:
-            converged = True
-            break
+    resolved = get_backend(backend)
+    covariance, precision, n_iter, converged, final_change = glasso_block_sweeps(
+        resolved,
+        covariance,
+        precision,
+        emp_cov,
+        alpha,
+        max_iter=max_iter,
+        tol=tol,
+        early_stop=early_stop,
+    )
+    covariance = resolved.to_numpy(covariance)
+    precision = resolved.to_numpy(precision)
 
     precision = 0.5 * (precision + precision.T)
-    return GraphicalLassoResult(covariance, precision, n_iter, converged, warm_started)
+    return GraphicalLassoResult(
+        covariance, precision, n_iter, converged, warm_started, final_change
+    )
 
 
 def _seed_covariance(

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.numerics import get_backend
+from repro.numerics.glasso import lasso_cd
+
 
 def lasso_coordinate_descent(
     gram: np.ndarray,
@@ -45,28 +48,12 @@ def lasso_coordinate_descent(
     if alpha < 0:
         raise ValueError("alpha must be non-negative")
 
-    p = gram.shape[0]
-    weights = np.zeros(p) if initial is None else np.array(initial, dtype=float)
-    diagonal = np.diag(gram).copy()
-    diagonal[diagonal <= 0.0] = 1e-12
-
-    for _ in range(max_iter):
-        max_update = 0.0
-        for j in range(p):
-            residual = linear[j] - gram[j] @ weights + gram[j, j] * weights[j]
-            new_weight = _soft_threshold(residual, alpha) / diagonal[j]
-            update = abs(new_weight - weights[j])
-            weights[j] = new_weight
-            if update > max_update:
-                max_update = update
-        if max_update < tol:
-            break
-    return weights
-
-
-def _soft_threshold(value: float, threshold: float) -> float:
-    if value > threshold:
-        return value - threshold
-    if value < -threshold:
-        return value + threshold
-    return 0.0
+    return lasso_cd(
+        get_backend("numpy"),
+        gram,
+        linear,
+        alpha,
+        max_iter=max_iter,
+        tol=tol,
+        initial=initial,
+    )

@@ -13,6 +13,7 @@ from repro.label_models.metal import MeTaLLabelModel
 
 __all__ = [
     "BaseLabelModel",
+    "EM_LABEL_MODELS",
     "LabelModelWarmStart",
     "MajorityVoteLabelModel",
     "GenerativeLabelModel",
@@ -25,6 +26,11 @@ _REGISTRY = {
     "generative": GenerativeLabelModel,
     "metal": MeTaLLabelModel,
 }
+
+#: Registry names of the EM-fitted models — the ones that accept the
+#: ``backend`` / ``early_stop`` numeric-core knobs (majority vote has no
+#: numeric inner loop to configure).
+EM_LABEL_MODELS = frozenset({"generative", "metal"})
 
 
 def get_label_model(name: str, **kwargs) -> BaseLabelModel:

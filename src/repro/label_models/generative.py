@@ -25,6 +25,14 @@ import numpy as np
 
 from repro.label_models.base import BaseLabelModel, LabelModelWarmStart
 from repro.labeling.lf import ABSTAIN
+from repro.numerics import RelativeLossStop, get_backend
+from repro.numerics.em import (
+    column_bucket,
+    generative_masks,
+    generative_posterior,
+    generative_step_fn,
+    pad_columns,
+)
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -38,13 +46,27 @@ class GenerativeLabelModel(BaseLabelModel):
     max_iter:
         Maximum EM iterations.
     tol:
-        Convergence threshold on the mean absolute change in responsibilities.
+        Convergence threshold on the mean absolute change in responsibilities
+        (the historical fixed-budget criterion; only consulted when
+        ``early_stop`` is off).
     smoothing:
         Laplace pseudo-count used in every M-step ratio.
     class_balance:
         Fixed class prior; ``None`` means uniform.
     random_state:
         Seed for the small responsibility jitter used at initialisation.
+    backend:
+        Array-backend name for the EM inner loop (``None`` resolves through
+        ``REPRO_BACKEND`` to the numpy reference backend; see
+        :mod:`repro.numerics`).
+    early_stop:
+        Replace the absolute responsibility-change criterion with adaptive
+        early stopping on the *relative* change of the mean per-instance
+        negative log-likelihood — a size-independent rule under which
+        warm-started refits converge in a couple of iterations.  ``False``
+        (default) keeps the historical semantics exactly.
+    early_stop_rtol:
+        Relative loss-change threshold of the early-stop rule.
     """
 
     def __init__(
@@ -55,12 +77,18 @@ class GenerativeLabelModel(BaseLabelModel):
         smoothing: float = 1.0,
         class_balance: np.ndarray | None = None,
         random_state: RandomState = 0,
+        backend: str | None = None,
+        early_stop: bool = False,
+        early_stop_rtol: float = 1e-5,
     ):
         super().__init__(n_classes=n_classes)
         self.max_iter = max_iter
         self.tol = tol
         self.smoothing = smoothing
         self.random_state = random_state
+        self.backend = backend
+        self.early_stop = early_stop
+        self.early_stop_rtol = early_stop_rtol
         if class_balance is not None:
             class_balance = np.asarray(class_balance, dtype=float)
             if class_balance.shape != (n_classes,):
@@ -96,6 +124,8 @@ class GenerativeLabelModel(BaseLabelModel):
         if n_lfs == 0 or n_instances == 0:
             self.cpts_ = np.zeros((n_lfs, self.n_classes, self.n_classes + 1))
             self.n_iter_ = 0
+            self.converged_ = True
+            self.final_loss_ = None
             self.warm_started_ = False
             return self
 
@@ -116,25 +146,57 @@ class GenerativeLabelModel(BaseLabelModel):
                     outcomes[:, mapped], carried[column_map[mapped]]
                 )
         self.warm_started_ = responsibilities is not None
+        if responsibilities is None:
+            rng = ensure_rng(self.random_state)
+            cold_start = self._initial_responsibilities(matrix, rng)
+            responsibilities, warm_reference = cold_start, False
+        else:
+            warm_reference = True
+
+        backend = get_backend(self.backend)
+        n_outcomes = self.n_classes + 1
+        masks = generative_masks(outcomes, n_outcomes)
+        if backend.jit_enabled:
+            # Pad the LF axis to a power-of-two bucket so the jitted step
+            # keeps its compiled trace as the refit loop adds columns; the
+            # padded columns are all-zero in every mask and contribute
+            # nothing to either EM step.
+            masks = pad_columns(masks, column_bucket(n_lfs))
+        step = generative_step_fn(backend, n_outcomes)
+        xp = backend.xp
+        masks = backend.asarray(masks)
+        responsibilities = backend.asarray(responsibilities)
+        log_priors = backend.asarray(np.log(np.clip(self.class_priors_, 1e-12, 1.0)))
+
         # A warm initialisation is already a model posterior, so it is a valid
         # convergence reference: a refit of an (almost) converged model can
         # stop after a single EM iteration.  The cold jittered-majority-vote
         # start is not a posterior, hence previous=None there.
-        previous = responsibilities
-        if responsibilities is None:
-            rng = ensure_rng(self.random_state)
-            responsibilities = self._initial_responsibilities(matrix, rng)
+        previous = responsibilities if warm_reference else None
+        stopper = RelativeLossStop(self.early_stop_rtol) if self.early_stop else None
 
+        cpts = None
         self.n_iter_ = 0
+        self.converged_ = False
+        self.final_loss_ = None
         for iteration in range(1, self.max_iter + 1):
-            self.cpts_ = self._m_step(outcomes, responsibilities)
-            responsibilities = self._posterior(outcomes, self.cpts_)
+            cpts, responsibilities, loss = step(
+                masks, responsibilities, log_priors, self.smoothing
+            )
             self.n_iter_ = iteration
-            if previous is not None:
-                change = float(np.mean(np.abs(responsibilities - previous)))
-                if change < self.tol:
+            self.final_loss_ = float(loss)
+            if stopper is not None:
+                if stopper.update(self.final_loss_):
+                    self.converged_ = True
                     break
-            previous = responsibilities
+            else:
+                if previous is not None:
+                    change = float(xp.mean(xp.abs(responsibilities - previous)))
+                    if change < self.tol:
+                        self.converged_ = True
+                        break
+                previous = responsibilities
+        self.cpts_ = backend.to_numpy(cpts)[:n_lfs]
         return self
 
     # -------------------------------------------------------------- predict
@@ -198,28 +260,19 @@ class GenerativeLabelModel(BaseLabelModel):
         of shape ``(n_lfs, n) @ (n, n_classes)`` — one EM iteration is plain
         O(n * k * C) numpy work.
         """
-        n_lfs = outcomes.shape[1]
         n_outcomes = self.n_classes + 1
-        cpts = np.empty((n_lfs, self.n_classes, n_outcomes))
-        for outcome in range(n_outcomes):
-            cpts[:, :, outcome] = (outcomes == outcome).T.astype(float) @ responsibilities
+        masks = generative_masks(outcomes, n_outcomes)
+        cpts = np.stack(
+            [masks[outcome].T @ responsibilities for outcome in range(n_outcomes)],
+            axis=2,
+        )
         cpts += self.smoothing
         cpts /= cpts.sum(axis=2, keepdims=True)
         return cpts
 
     def _posterior(self, outcomes: np.ndarray, cpts: np.ndarray) -> np.ndarray:
-        """E-step under the given CPTs (vectorised, one matmul per outcome)."""
-        n_instances = outcomes.shape[0]
-        log_proba = np.tile(
-            np.log(np.clip(self.class_priors_, 1e-12, 1.0)), (n_instances, 1)
-        )
-        log_cpts = np.log(np.clip(cpts, 1e-12, 1.0))
-        for outcome in range(self.n_classes + 1):
-            log_proba += (outcomes == outcome).astype(float) @ log_cpts[:, :, outcome]
-        log_proba -= log_proba.max(axis=1, keepdims=True)
-        proba = np.exp(log_proba)
-        proba /= proba.sum(axis=1, keepdims=True)
-        return proba
+        """E-step under the given CPTs (shared with the fit loop's step)."""
+        return generative_posterior(outcomes, cpts, self.class_priors_)
 
     def _warm_start_params(self) -> dict | None:
         if not hasattr(self, "cpts_") or self.cpts_.shape[0] == 0:

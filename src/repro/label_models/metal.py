@@ -36,6 +36,14 @@ import numpy as np
 
 from repro.label_models.base import BaseLabelModel, LabelModelWarmStart
 from repro.labeling.lf import ABSTAIN
+from repro.numerics import RelativeLossStop, get_backend
+from repro.numerics.em import (
+    column_bucket,
+    metal_masks,
+    metal_posterior,
+    metal_step_fn,
+    pad_columns,
+)
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -63,6 +71,17 @@ class MeTaLLabelModel(BaseLabelModel):
         balance is unknown).
     random_state:
         Seed for the initialisation jitter.
+    backend:
+        Array-backend name for the EM inner loop (``None`` resolves through
+        ``REPRO_BACKEND`` to the numpy reference backend; see
+        :mod:`repro.numerics`).
+    early_stop:
+        Replace the absolute responsibility-change criterion with adaptive
+        early stopping on the *relative* change of the mean per-instance
+        negative log-likelihood.  ``False`` (default) keeps the historical
+        semantics exactly.
+    early_stop_rtol:
+        Relative loss-change threshold of the early-stop rule.
     """
 
     def __init__(
@@ -75,6 +94,9 @@ class MeTaLLabelModel(BaseLabelModel):
         accuracy_bounds: tuple[float, float] = (0.55, 0.98),
         class_balance: np.ndarray | None = None,
         random_state: RandomState = 0,
+        backend: str | None = None,
+        early_stop: bool = False,
+        early_stop_rtol: float = 1e-5,
     ):
         super().__init__(n_classes=n_classes)
         if not 0.5 < prior_accuracy < 1.0:
@@ -88,6 +110,9 @@ class MeTaLLabelModel(BaseLabelModel):
         self.prior_accuracy = prior_accuracy
         self.accuracy_bounds = (float(low), float(high))
         self.random_state = random_state
+        self.backend = backend
+        self.early_stop = early_stop
+        self.early_stop_rtol = early_stop_rtol
         if class_balance is not None:
             class_balance = np.asarray(class_balance, dtype=float)
             if class_balance.shape != (n_classes,):
@@ -125,6 +150,8 @@ class MeTaLLabelModel(BaseLabelModel):
             self.accuracies_ = np.zeros(0)
             self.propensities_ = np.zeros((0, self.n_classes))
             self.n_iter_ = 0
+            self.converged_ = True
+            self.final_loss_ = None
             self.warm_started_ = False
             return self
 
@@ -149,25 +176,74 @@ class MeTaLLabelModel(BaseLabelModel):
                 self.propensities_[mapped] = carried_prop[column_map[mapped]]
                 responsibilities = self._posterior(matrix)
         self.warm_started_ = responsibilities is not None
-        # A warm initialisation is already a model posterior, so it is a valid
-        # convergence reference: a refit of an (almost) converged model can
-        # stop after a single EM iteration.  The cold jittered-majority-vote
-        # start is not a posterior, hence previous=None there.
-        previous = responsibilities
+        warm_reference = responsibilities is not None
         if responsibilities is None:
             rng = ensure_rng(self.random_state)
             responsibilities = self._initial_responsibilities(matrix, rng)
 
+        backend = get_backend(self.backend)
+        fired, not_fired, vote_masks, vote_index = metal_masks(
+            matrix, self.n_classes, ABSTAIN
+        )
+        never_fired = ~(matrix != ABSTAIN).any(axis=0)
+        if backend.jit_enabled:
+            # Pad the LF axis to a power-of-two bucket so the jitted step
+            # keeps its compiled trace as the refit loop adds columns.
+            # Padded columns never fire and never vote: their fired/vote
+            # masks are zero, not_fired must be zero too (an all-ones pad
+            # would inject phantom propensity mass into the E-step), and
+            # never_fired=True pins their accuracy at the prior.
+            bucket = column_bucket(n_lfs)
+            fired = pad_columns(fired, bucket)
+            not_fired = pad_columns(not_fired, bucket)
+            vote_masks = pad_columns(vote_masks, bucket)
+            vote_index = pad_columns(vote_index, bucket)
+            never_fired = np.pad(
+                never_fired, (0, bucket - n_lfs), constant_values=True
+            )
+        step = metal_step_fn(backend, self.n_classes)
+        xp = backend.xp
+        fired = backend.asarray(fired)
+        not_fired = backend.asarray(not_fired)
+        vote_masks = backend.asarray(vote_masks)
+        vote_index = backend.asarray(vote_index, dtype=int)
+        never_fired = backend.asarray(never_fired, dtype=bool)
+        responsibilities = backend.asarray(responsibilities)
+        log_priors = backend.asarray(np.log(np.clip(self.class_priors_, 1e-12, 1.0)))
+        low, high = self.accuracy_bounds
+
+        # A warm initialisation is already a model posterior, so it is a valid
+        # convergence reference: a refit of an (almost) converged model can
+        # stop after a single EM iteration.  The cold jittered-majority-vote
+        # start is not a posterior, hence previous=None there.
+        previous = responsibilities if warm_reference else None
+        stopper = RelativeLossStop(self.early_stop_rtol) if self.early_stop else None
+
+        accuracies = propensities = None
         self.n_iter_ = 0
+        self.converged_ = False
+        self.final_loss_ = None
         for iteration in range(1, self.max_iter + 1):
-            self._m_step(matrix, responsibilities)
-            responsibilities = self._posterior(matrix)
+            accuracies, propensities, responsibilities, loss = step(
+                fired, not_fired, vote_masks, vote_index, never_fired,
+                responsibilities, log_priors, self.smoothing,
+                self.prior_accuracy, low, high,
+            )
             self.n_iter_ = iteration
-            if previous is not None:
-                change = float(np.mean(np.abs(responsibilities - previous)))
-                if change < self.tol:
+            self.final_loss_ = float(loss)
+            if stopper is not None:
+                if stopper.update(self.final_loss_):
+                    self.converged_ = True
                     break
-            previous = responsibilities
+            else:
+                if previous is not None:
+                    change = float(xp.mean(xp.abs(responsibilities - previous)))
+                    if change < self.tol:
+                        self.converged_ = True
+                        break
+                previous = responsibilities
+        self.accuracies_ = backend.to_numpy(accuracies)[:n_lfs]
+        self.propensities_ = backend.to_numpy(propensities)[:n_lfs]
         return self
 
     # -------------------------------------------------------------- predict
@@ -201,36 +277,15 @@ class MeTaLLabelModel(BaseLabelModel):
         return counts / counts.sum(axis=1, keepdims=True)
 
     def _posterior(self, matrix: np.ndarray) -> np.ndarray:
-        """E-step: posterior over Y given votes, accuracies and propensities.
-
-        Vectorised over LFs *and* classes: the per-(LF, class) Python loops
-        are three matmuls plus one matvec per class, so one E-step is plain
-        O(n * k * C) numpy work.
-        """
-        n_instances, n_lfs = matrix.shape
-        wrong_share = 1.0 / max(self.n_classes - 1, 1)
-        acc = np.clip(self.accuracies_, 1e-6, 1 - 1e-6)
-        propensity = np.clip(self.propensities_, 1e-6, 1 - 1e-6)
-        log_acc = np.log(acc)
-        log_wrong = np.log((1.0 - acc) * wrong_share)
-        fired = (matrix != ABSTAIN).astype(float)
-
-        log_proba = np.tile(
-            np.log(np.clip(self.class_priors_, 1e-12, 1.0)), (n_instances, 1)
+        """E-step under the fitted parameters (shared with the fit loop's step)."""
+        return metal_posterior(
+            matrix,
+            ABSTAIN,
+            self.accuracies_,
+            self.propensities_,
+            self.class_priors_,
+            self.n_classes,
         )
-        # Abstaining LFs contribute P(not fire | Y=cls)...
-        log_proba += (1.0 - fired) @ np.log(1.0 - propensity)
-        # ...fired LFs contribute the propensity factor and (for now) the
-        # disagree weight under every class hypothesis...
-        log_proba += fired @ (np.log(propensity) + log_wrong[:, None])
-        # ...and the voted class swaps its disagree weight for the agree one.
-        agree_minus_wrong = log_acc - log_wrong
-        for cls in range(self.n_classes):
-            log_proba[:, cls] += (matrix == cls).astype(float) @ agree_minus_wrong
-        log_proba -= log_proba.max(axis=1, keepdims=True)
-        proba = np.exp(log_proba)
-        proba /= proba.sum(axis=1, keepdims=True)
-        return proba
 
     def _m_step(self, matrix: np.ndarray, responsibilities: np.ndarray) -> None:
         """M-step: re-estimate accuracies (clamped) and class-conditional propensities.

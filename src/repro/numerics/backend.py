@@ -1,0 +1,188 @@
+"""The array-backend seam of the numeric core.
+
+Every numeric hot path (label-model EM, graphical-lasso block updates,
+LabelPick scoring) is written against an :class:`ArrayBackend` instead of
+importing ``numpy`` directly.  The numpy backend is the reference
+implementation and the default — it adds **zero** dependencies and runs the
+exact historical computations.  The JAX backend mirrors it on ``jax.numpy``
+with ``jit`` compilation for the statistic functions that profit from it,
+and is only importable when ``jax`` is installed.
+
+Backend resolution order (:func:`get_backend`):
+
+1. an explicit ``name`` argument (e.g. ``ActiveDPConfig.backend``);
+2. the ``REPRO_BACKEND`` environment variable;
+3. ``"numpy"``.
+
+The JAX backend enables float64 (``jax_enable_x64``) on construction: the
+equivalence guarantees of the numeric core are stated in double precision,
+and silently downcasting to float32 would void them.
+"""
+
+from __future__ import annotations
+
+import abc
+import importlib.util
+import os
+
+import numpy as np
+
+#: Backend names the configuration layer accepts.  ``get_backend`` is the
+#: authority on whether a name is *usable* (JAX may be absent at run time);
+#: this tuple is what config validation checks against so typos fail fast.
+KNOWN_BACKENDS = ("numpy", "jax")
+
+#: Environment variable consulted when no explicit backend name is given.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class BackendUnavailableError(RuntimeError):
+    """A known backend cannot be constructed in this environment."""
+
+
+class ArrayBackend(abc.ABC):
+    """One array namespace plus the few capabilities numpy and JAX disagree on.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"jax"``).
+    xp:
+        The array namespace module (``numpy`` or ``jax.numpy``).  All
+        backend-pure numeric code calls ``xp`` functions only.
+    jit_enabled:
+        Whether :meth:`jit` actually compiles (and therefore whether padded
+        shape buckets pay off).  ``False`` for the numpy reference backend.
+    """
+
+    name: str
+    xp: object
+    jit_enabled: bool = False
+
+    def asarray(self, value, dtype=float):
+        """Convert *value* to this backend's array type."""
+        return self.xp.asarray(value, dtype=dtype)
+
+    def to_numpy(self, value) -> np.ndarray:
+        """Materialise a backend array as a host numpy array."""
+        return np.asarray(value)
+
+    def jit(self, fn, static_argnums=()):
+        """Compile *fn* if the backend supports it; identity otherwise."""
+        return fn
+
+    @abc.abstractmethod
+    def set_at(self, array, index, value):
+        """Return *array* with ``array[index] = value`` applied.
+
+        The numpy backend mutates in place and returns the same object; the
+        JAX backend returns a new array (``array.at[index].set(value)``).
+        Callers must use the return value and never rely on aliasing.
+        """
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference backend: plain numpy, no compilation, exact history."""
+
+    name = "numpy"
+    xp = np
+    jit_enabled = False
+
+    def set_at(self, array, index, value):
+        array[index] = value
+        return array
+
+
+class JaxBackend(ArrayBackend):
+    """``jax.numpy`` mirror with jit compilation and enforced float64.
+
+    Constructed lazily by :func:`get_backend` so importing
+    ``repro.numerics`` never imports ``jax``; environments without it keep
+    the numpy path with zero extra dependencies.
+    """
+
+    name = "jax"
+    jit_enabled = True
+
+    def __init__(self):
+        try:
+            import jax
+        except ImportError as exc:  # pragma: no cover - exercised without jax
+            raise BackendUnavailableError(
+                "the 'jax' backend requires the jax package "
+                "(pip install jax); the default 'numpy' backend needs nothing"
+            ) from exc
+        # Double precision is a correctness requirement, not a preference:
+        # the numpy-vs-JAX equivalence suite pins agreement at float64
+        # tolerances, and EM log-likelihoods lose real accuracy in float32.
+        jax.config.update("jax_enable_x64", True)
+        self._jax = jax
+        self.xp = jax.numpy
+
+    def jit(self, fn, static_argnums=()):
+        """``jax.jit``; compiled traces are cached per argument shape."""
+        return self._jax.jit(fn, static_argnums=static_argnums)
+
+    def set_at(self, array, index, value):
+        return array.at[index].set(value)
+
+
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+_FACTORIES = {
+    "numpy": NumpyBackend,
+    "jax": JaxBackend,
+}
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """The backend name an explicit argument / environment / default resolve to."""
+    if name:
+        return str(name).lower()
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    return env.lower() if env else "numpy"
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """Return the resolved :class:`ArrayBackend` instance (cached per name).
+
+    ``None`` consults ``REPRO_BACKEND`` and falls back to ``"numpy"``.
+    Unknown names raise :class:`ValueError`; a known backend whose
+    dependency is missing raises :class:`BackendUnavailableError` with an
+    actionable message.
+    """
+    resolved = resolve_backend_name(name)
+    if resolved in _INSTANCES:
+        return _INSTANCES[resolved]
+    try:
+        factory = _FACTORIES[resolved]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {resolved!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+    backend = factory()
+    _INSTANCES[resolved] = backend
+    return backend
+
+
+def register_backend(name: str, factory) -> None:
+    """Register a custom backend factory under *name* (lower-cased).
+
+    The factory is a zero-argument callable returning an
+    :class:`ArrayBackend`.  Registering an existing name replaces it and
+    drops any cached instance — tests use this to inject doubles.
+    """
+    key = str(name).lower()
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def available_backends() -> list[str]:
+    """Backend names constructible in this environment, reference first."""
+    names = ["numpy"]
+    if importlib.util.find_spec("jax") is not None:
+        names.append("jax")
+    for name in _FACTORIES:
+        if name not in KNOWN_BACKENDS and name not in names:
+            names.append(name)
+    return names

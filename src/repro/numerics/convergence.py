@@ -1,0 +1,49 @@
+"""Adaptive early stopping on relative loss change.
+
+The historical EM/glasso budgets stop on *absolute* thresholds (mean
+responsibility change, mean covariance change), which silently tighten or
+loosen with the scale of the quantity being watched.  The early-stop path
+replaces them with the relative-loss-change rule: stop when
+
+    |loss_t - loss_{t-1}| <= rtol * max(|loss_{t-1}|, eps)
+
+which is invariant to the loss's units and dataset size, and — because a
+warm-started fit begins near its optimum — automatically turns warm starts
+into *fewer* iterations rather than just cheaper ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Guard against a zero previous loss in the relative denominator.
+_EPS = 1e-12
+
+
+def relative_change(current: float, previous: float) -> float:
+    """``|current - previous|`` relative to the magnitude of *previous*."""
+    return abs(current - previous) / max(abs(previous), _EPS)
+
+
+@dataclass
+class RelativeLossStop:
+    """Stateful relative-loss-change stopping rule for an iterative fit.
+
+    Feed it the loss after every iteration; :meth:`update` returns ``True``
+    once the relative change against the previous iteration drops to
+    ``rtol`` or below.  The first call can never stop (there is nothing to
+    compare against), so a fit always runs at least one full iteration —
+    two when it must certify convergence.
+    """
+
+    rtol: float
+    previous: float | None = None
+
+    def update(self, loss: float) -> bool:
+        """Record this iteration's *loss*; ``True`` means converged."""
+        converged = (
+            self.previous is not None
+            and relative_change(loss, self.previous) <= self.rtol
+        )
+        self.previous = loss
+        return converged

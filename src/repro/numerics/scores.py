@@ -1,0 +1,41 @@
+"""Backend-pure LabelPick scoring: per-LF validation firing counts and accuracy.
+
+LabelPick's accuracy-pruning stage reduces to one masked reduction over the
+``(n_valid, n_lfs)`` validation label matrix.  It runs on every refit of
+every trial, so it is expressed here as a jit-compilable statistic function
+of the matrix and label arrays; the pruning *decision* (threshold
+comparison, index bookkeeping) stays plain Python in
+:class:`repro.core.labelpick.LabelPick`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.numerics.backend import ArrayBackend
+
+_SCORE_FNS: dict[str, Callable] = {}
+
+
+def labelpick_score_fn(backend: ArrayBackend) -> Callable:
+    """Compiled ``scores(matrix, labels, abstain) -> (n_fired, accuracy)``.
+
+    ``n_fired`` counts, per LF column, the validation instances it voted on;
+    ``accuracy`` is the fraction of those votes matching the ground-truth
+    labels (0-fired columns report accuracy over a guarded denominator of
+    1, i.e. 0.0 — the caller keeps such LFs by checking ``n_fired``).
+    """
+    if backend.name in _SCORE_FNS:
+        return _SCORE_FNS[backend.name]
+    xp = backend.xp
+
+    def scores(matrix, labels, abstain):
+        fired = matrix != abstain
+        n_fired = fired.sum(axis=0)
+        n_correct = (fired & (matrix == labels[:, None])).sum(axis=0)
+        accuracy = n_correct / xp.maximum(n_fired, 1)
+        return n_fired, accuracy
+
+    compiled = backend.jit(scores)
+    _SCORE_FNS[backend.name] = compiled
+    return compiled

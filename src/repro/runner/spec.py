@@ -36,7 +36,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: way that invalidates previously cached results.
 #: 2: IterationRecord gained warm-refit counters; stale aggregation state is
 #:    flushed at evaluation points (retrain_every > 1 results moved).
-CACHE_FORMAT_VERSION = 2
+#: 3: adaptive early stopping became the default EM/glasso stopping rule
+#:    (iteration counts and fitted parameters moved) and IterationRecord
+#:    gained the lm_converged_fits / lm_final_loss / glasso_sweeps counters.
+CACHE_FORMAT_VERSION = 3
 
 
 def canonical_value(obj):

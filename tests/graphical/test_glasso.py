@@ -276,3 +276,41 @@ class TestEmpiricalCovariance:
     def test_invalid_shrinkage_raises(self, rng):
         with pytest.raises(ValueError):
             empirical_covariance(rng.standard_normal((10, 2)), shrinkage=2.0)
+
+
+class TestRelativeStoppingCriterion:
+    """``early_stop=True`` switches the sweep criterion from an absolute mean
+    precision-change threshold to one relative to the precision's own scale,
+    so the sweep count no longer depends on the units of the data."""
+
+    def _scaled_runs(self, rng, **kwargs):
+        data = rng.multivariate_normal(
+            np.zeros(6), np.linalg.inv(_chain_precision(6)), size=500
+        )
+        # Rescaling the data by c scales the covariance by c^2 and the
+        # precision by c^-2; scaling alpha along keeps the *problem*
+        # identical up to units, so a unit-free criterion must take the
+        # same number of sweeps on both.
+        return [
+            graphical_lasso(
+                data * scale, alpha=0.05 * scale**2, max_iter=200, **kwargs
+            )
+            for scale in (1.0, 100.0)
+        ]
+
+    def test_relative_criterion_is_scale_invariant(self, rng):
+        unit, scaled = self._scaled_runs(rng, early_stop=True, tol=1e-4)
+        assert unit.converged and scaled.converged
+        assert unit.n_iter == scaled.n_iter
+
+    def test_legacy_absolute_criterion_is_not(self, rng):
+        """Regression pin for the historical behaviour the knob preserves:
+        the absolute threshold effectively tightens as the precision scale
+        shrinks, so the rescaled run needs extra sweeps."""
+        unit, scaled = self._scaled_runs(rng, tol=1e-4)
+        assert scaled.n_iter > unit.n_iter
+
+    def test_early_stop_reports_final_change(self, rng):
+        result, _ = self._scaled_runs(rng, early_stop=True, tol=1e-4)
+        assert result.final_change is not None
+        assert 0.0 <= result.final_change <= 1e-4

@@ -1,0 +1,117 @@
+"""Tests for the array-backend seam: resolution, registry, capabilities."""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveDPConfig
+from repro.numerics import (
+    BACKEND_ENV_VAR,
+    ArrayBackend,
+    BackendUnavailableError,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
+
+HAS_JAX = importlib.util.find_spec("jax") is not None
+
+
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend_name() == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_explicit_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "jax")
+        assert resolve_backend_name("numpy") == "numpy"
+        assert get_backend("numpy").name == "numpy"
+
+    def test_env_var_consulted_when_no_name(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend_name() == "numpy"
+
+    def test_names_are_case_insensitive(self):
+        assert resolve_backend_name("NumPy") == "numpy"
+
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            get_backend("tensorflow")
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    @pytest.mark.skipif(HAS_JAX, reason="jax installed; unavailability untestable")
+    def test_jax_without_dependency_raises_actionable_error(self):
+        with pytest.raises(BackendUnavailableError, match="pip install jax"):
+            get_backend("jax")
+
+
+class TestNumpyBackend:
+    def test_reference_capabilities(self):
+        backend = get_backend("numpy")
+        assert isinstance(backend, NumpyBackend)
+        assert backend.xp is np
+        assert not backend.jit_enabled
+
+    def test_jit_is_identity(self):
+        backend = get_backend("numpy")
+
+        def fn(x):
+            return x + 1
+
+        assert backend.jit(fn) is fn
+
+    def test_set_at_mutates_in_place_and_returns(self):
+        backend = get_backend("numpy")
+        array = np.zeros(3)
+        out = backend.set_at(array, 1, 5.0)
+        assert out is array
+        np.testing.assert_array_equal(array, [0.0, 5.0, 0.0])
+
+    def test_asarray_and_to_numpy_round_trip(self):
+        backend = get_backend("numpy")
+        out = backend.to_numpy(backend.asarray([1, 2, 3]))
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+
+class TestRegistry:
+    def test_register_backend_injects_and_replaces(self):
+        class Double(NumpyBackend):
+            name = "double"
+
+        try:
+            register_backend("double", Double)
+            assert get_backend("double").name == "double"
+            assert "double" in available_backends()
+        finally:
+            # Drop the test double so other tests never resolve it.
+            from repro.numerics import backend as backend_module
+
+            backend_module._FACTORIES.pop("double", None)
+            backend_module._INSTANCES.pop("double", None)
+
+    def test_available_backends_lists_numpy_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert ("jax" in names) == HAS_JAX
+
+    def test_array_backend_is_abstract(self):
+        with pytest.raises(TypeError):
+            ArrayBackend()
+
+
+class TestConfigValidation:
+    def test_known_backend_accepted(self):
+        assert ActiveDPConfig(backend="numpy").backend == "numpy"
+        assert ActiveDPConfig(backend="jax").backend == "jax"
+        assert ActiveDPConfig().backend is None
+
+    def test_unknown_backend_rejected_fast(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ActiveDPConfig(backend="tensorflow")

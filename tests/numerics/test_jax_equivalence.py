@@ -1,0 +1,164 @@
+"""Numpy-vs-JAX backend equivalence (skipped cleanly when jax is absent).
+
+Every test here pins the contract stated in ``docs/numerics.md``: the JAX
+backend computes in float64 (``jax_enable_x64`` is enabled on construction)
+and agrees with the numpy reference to float64 tolerances on the label-model
+EM fits, the graphical-lasso sweeps, LabelPick's scoring reductions and an
+end-to-end framework run.
+"""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.graphical.glasso import graphical_lasso
+from repro.label_models import GenerativeLabelModel, MeTaLLabelModel
+from repro.labeling.lf import ABSTAIN
+from repro.numerics import get_backend
+from repro.numerics.scores import labelpick_score_fn
+
+HAS_JAX = importlib.util.find_spec("jax") is not None
+
+pytestmark = pytest.mark.skipif(
+    not HAS_JAX, reason="jax not installed (the numpy reference needs nothing)"
+)
+
+RTOL = 1e-7
+ATOL = 1e-9
+
+MODELS = {"generative": GenerativeLabelModel, "metal": MeTaLLabelModel}
+
+
+def _matrix(n=200, k=9, n_classes=2, seed=11):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_classes, size=n)
+    fired = rng.random((n, k)) < rng.uniform(0.25, 0.6, size=k)
+    correct = rng.random((n, k)) < rng.uniform(0.6, 0.9, size=k)
+    offsets = rng.integers(1, n_classes, size=(n, k), endpoint=True)
+    votes = np.where(correct, labels[:, None], (labels[:, None] + offsets) % n_classes)
+    return np.where(fired, votes, ABSTAIN), labels
+
+
+class TestBackendContract:
+    def test_jax_backend_enables_float64(self):
+        backend = get_backend("jax")
+        assert backend.jit_enabled
+        assert backend.to_numpy(backend.asarray([1.5])).dtype == np.float64
+
+    def test_set_at_is_functional(self):
+        backend = get_backend("jax")
+        array = backend.asarray([0.0, 0.0])
+        out = backend.set_at(array, 1, 3.0)
+        np.testing.assert_array_equal(backend.to_numpy(out), [0.0, 3.0])
+        np.testing.assert_array_equal(backend.to_numpy(array), [0.0, 0.0])
+
+
+class TestLabelModelEquivalence:
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    @pytest.mark.parametrize("early_stop", [False, True])
+    def test_fit_and_posteriors_agree(self, name, early_stop):
+        matrix, _ = _matrix()
+        fits = {
+            backend: MODELS[name](
+                n_classes=2, backend=backend, early_stop=early_stop
+            ).fit(matrix)
+            for backend in ("numpy", "jax")
+        }
+        np.testing.assert_allclose(
+            fits["jax"].predict_proba(matrix),
+            fits["numpy"].predict_proba(matrix),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+        assert fits["jax"].n_iter_ == fits["numpy"].n_iter_
+        assert fits["jax"].converged_ == fits["numpy"].converged_
+
+    def test_generative_cpts_agree(self):
+        matrix, _ = _matrix()
+        numpy_fit = GenerativeLabelModel(backend="numpy").fit(matrix)
+        jax_fit = GenerativeLabelModel(backend="jax").fit(matrix)
+        np.testing.assert_allclose(jax_fit.cpts_, numpy_fit.cpts_, rtol=RTOL, atol=ATOL)
+
+    def test_metal_parameters_agree(self):
+        matrix, _ = _matrix()
+        numpy_fit = MeTaLLabelModel(backend="numpy").fit(matrix)
+        jax_fit = MeTaLLabelModel(backend="jax").fit(matrix)
+        np.testing.assert_allclose(
+            jax_fit.accuracies_, numpy_fit.accuracies_, rtol=RTOL, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            jax_fit.propensities_, numpy_fit.propensities_, rtol=RTOL, atol=ATOL
+        )
+
+    def test_warm_started_refit_agrees(self):
+        matrix, _ = _matrix(k=10)
+        for name, cls in MODELS.items():
+            seed = cls(n_classes=2).fit(matrix[:, :-1])
+            warm = seed.export_warm_start(list(range(9)) + [-1])
+            numpy_fit = cls(n_classes=2, backend="numpy").fit(matrix, warm_start=warm)
+            jax_fit = cls(n_classes=2, backend="jax").fit(matrix, warm_start=warm)
+            np.testing.assert_allclose(
+                jax_fit.predict_proba(matrix),
+                numpy_fit.predict_proba(matrix),
+                rtol=RTOL,
+                atol=ATOL,
+                err_msg=name,
+            )
+
+
+class TestGlassoEquivalence:
+    def test_precisions_agree(self):
+        rng = np.random.default_rng(2)
+        data = rng.multivariate_normal(
+            np.zeros(6), np.eye(6) + 0.3, size=400
+        )
+        numpy_result = graphical_lasso(data, alpha=0.05, backend="numpy")
+        jax_result = graphical_lasso(data, alpha=0.05, backend="jax")
+        np.testing.assert_allclose(
+            jax_result.precision, numpy_result.precision, rtol=1e-6, atol=1e-8
+        )
+        assert jax_result.n_iter == numpy_result.n_iter
+        assert jax_result.converged == numpy_result.converged
+
+
+class TestScoreEquivalence:
+    def test_labelpick_scores_agree(self):
+        matrix, labels = _matrix()
+        numpy_backend = get_backend("numpy")
+        jax_backend = get_backend("jax")
+        ref_fired, ref_acc = labelpick_score_fn(numpy_backend)(matrix, labels, ABSTAIN)
+        jit_fired, jit_acc = labelpick_score_fn(jax_backend)(
+            jax_backend.asarray(matrix, dtype=int),
+            jax_backend.asarray(labels, dtype=int),
+            ABSTAIN,
+        )
+        np.testing.assert_array_equal(jax_backend.to_numpy(jit_fired), ref_fired)
+        np.testing.assert_allclose(
+            jax_backend.to_numpy(jit_acc), ref_acc, rtol=RTOL, atol=ATOL
+        )
+
+
+class TestFrameworkEquivalence:
+    def test_end_to_end_run_agrees_on_headline_metrics(self, tiny_text_split):
+        """A full interactive run on the JAX backend matches numpy closely."""
+        from repro.core import ActiveDP, ActiveDPConfig
+        from repro.simulation import SimulatedUser
+
+        qualities = {}
+        for backend in ("numpy", "jax"):
+            config = ActiveDPConfig.for_dataset_kind(
+                "text", min_labelpick_queries=5, backend=backend
+            )
+            framework = ActiveDP(
+                tiny_text_split.train, tiny_text_split.valid, config, random_state=0
+            )
+            user = SimulatedUser(tiny_text_split.train, random_state=0)
+            framework.run(user, 20)
+            qualities[backend] = framework.label_quality()
+        assert qualities["jax"]["accuracy"] == pytest.approx(
+            qualities["numpy"]["accuracy"], abs=1e-6
+        )
+        assert qualities["jax"]["coverage"] == pytest.approx(
+            qualities["numpy"]["coverage"], abs=1e-6
+        )

@@ -1,0 +1,79 @@
+"""The adaptive-early-stopping counters survive every results path.
+
+``IterationRecord`` gained ``lm_converged_fits`` / ``lm_final_loss`` /
+``glasso_sweeps`` alongside the warm-start counters.  These tests pin that
+a real ActiveDP trial populates them, and that they round-trip unchanged
+through the on-disk :class:`ResultCache` and the spool-broker worker path
+(the same serialisation a distributed run exercises).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EvaluationProtocol
+from repro.runner import ResultCache, SpoolBroker, TrialSpec
+from repro.runner.executor import run_trial
+from repro.runner.worker import run_worker
+
+FAST = EvaluationProtocol(n_iterations=2, eval_every=2, n_seeds=2, dataset_scale=0.15)
+
+COUNTER_FIELDS = ("lm_converged_fits", "lm_final_loss", "glasso_sweeps")
+
+
+def _spec(seed=0):
+    # The activedp pipeline is the one that fits EM label models and glasso,
+    # so it is the only framework whose trials populate the counters.
+    return TrialSpec(framework="activedp", dataset="youtube", seed=seed, protocol=FAST)
+
+
+@pytest.fixture(scope="module")
+def history():
+    return run_trial(_spec())
+
+
+def _final(history):
+    assert history.records
+    return history.records[-1]
+
+
+class TestTrialPopulatesCounters:
+    def test_final_record_carries_all_counters(self, history):
+        record = _final(history)
+        assert record.lm_converged_fits is not None
+        assert record.lm_converged_fits >= 1
+        assert record.lm_final_loss is not None
+        assert record.glasso_sweeps is not None
+
+    def test_converged_fits_never_exceed_fits(self, history):
+        record = _final(history)
+        assert record.lm_fits is not None
+        assert record.lm_converged_fits <= record.lm_fits
+
+
+class TestResultCacheRoundTrip:
+    def test_counters_survive_put_get(self, tmp_path, history):
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec()
+        cache.put(spec, history)
+        loaded = cache.get(spec)
+        assert loaded is not None
+        original = _final(history)
+        restored = _final(loaded)
+        for field in COUNTER_FIELDS:
+            assert getattr(restored, field) == getattr(original, field), field
+
+
+class TestDistributedWorkerRoundTrip:
+    def test_counters_survive_spool_execution(self, tmp_path, history):
+        spec = _spec()
+        SpoolBroker(tmp_path / "spool").enqueue(spec)
+        run_worker(tmp_path / "spool", tmp_path / "cache", idle_timeout=0.05, quiet=True)
+        remote = ResultCache(tmp_path / "cache").get(spec)
+        assert remote is not None
+        local = _final(history)
+        distributed = _final(remote)
+        # The worker re-runs the same self-contained spec, so the counters
+        # must match the in-process trial exactly, not just be present.
+        for field in COUNTER_FIELDS:
+            assert getattr(distributed, field) == getattr(local, field), field
