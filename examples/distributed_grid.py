@@ -6,20 +6,23 @@ shared spool/cache directory, e.g. an NFS mount):
 
 1. spawn ``--num-workers`` completely independent
    ``python -m repro.runner.worker`` processes (they know nothing about the
-   submitter — only the spool and cache directories);
+   submitter — only the queue and cache locations), or, with
+   ``--supervise``, one ``python -m repro.runner.supervisor`` that scales
+   the worker fleet to the queue by itself;
 2. submit a framework-comparison grid with
    ``ExecutionConfig(mode="distributed", ...)``: the engine enqueues the
-   trials on the spool, the workers lease and execute them, and the engine
-   assembles the ``GridReport`` by polling the shared cache;
+   trials on the broker (``--broker`` picks the backend — the filesystem
+   spool or the SQLite queue), the workers lease and execute them, and the
+   engine assembles the ``GridReport`` by polling the shared cache;
 3. re-run the same grid serially in-process (cache bypassed) and verify the
    per-trial histories are byte-identical — distribution changes where
-   trials run, never what they compute.
+   trials run, never what they compute, under either backend.
 
 Usage::
 
     python examples/distributed_grid.py [--dataset youtube] [--iterations 10] \
-        [--num-workers 2] [--seeds 2] [--shard-by dataset] [--claim-batch 8] \
-        [--keep-dirs]
+        [--num-workers 2] [--seeds 2] [--broker spool] [--supervise] \
+        [--shard-by dataset] [--claim-batch 8] [--keep-dirs]
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ import argparse
 import os
 import pickle
 import shutil
+import signal
 import subprocess
 import sys
 import tempfile
@@ -36,6 +40,7 @@ import repro
 from repro.datasets import DATASET_PROFILES
 from repro.experiments import EvaluationProtocol
 from repro.runner import (
+    BROKER_BACKENDS,
     DEFAULT_CLAIM_BATCH,
     SHARD_POLICIES,
     ExecutionConfig,
@@ -45,14 +50,18 @@ from repro.runner import (
 )
 
 
-def spawn_worker(
-    spool: str, cache_dir: str, index: int, claim_batch: int
-) -> subprocess.Popen:
-    """Start one worker daemon as a fully independent subprocess."""
+def _subprocess_env() -> dict:
     src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
     env = dict(os.environ)
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    return env
+
+
+def spawn_worker(
+    spool: str, cache_dir: str, index: int, claim_batch: int, broker: str
+) -> subprocess.Popen:
+    """Start one worker daemon as a fully independent subprocess."""
     return subprocess.Popen(
         [
             sys.executable,
@@ -62,6 +71,8 @@ def spawn_worker(
             spool,
             "--cache-dir",
             cache_dir,
+            "--broker",
+            broker,
             "--idle-timeout",
             "5",
             "--claim-batch",
@@ -69,7 +80,37 @@ def spawn_worker(
             "--worker-id",
             f"example-{index}",
         ],
-        env=env,
+        env=_subprocess_env(),
+    )
+
+
+def spawn_supervisor(
+    spool: str, cache_dir: str, max_workers: int, claim_batch: int, broker: str
+) -> subprocess.Popen:
+    """Start the elastic fleet supervisor (it spawns the workers itself)."""
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.runner.supervisor",
+            "--spool",
+            spool,
+            "--cache-dir",
+            cache_dir,
+            "--broker",
+            broker,
+            "--max-workers",
+            str(max_workers),
+            "--tasks-per-worker",
+            "1",
+            "--worker-idle-timeout",
+            "5",
+            "--claim-batch",
+            str(claim_batch),
+            "--interval",
+            "0.3",
+        ],
+        env=_subprocess_env(),
     )
 
 
@@ -80,12 +121,18 @@ def main() -> None:
     parser.add_argument("--seeds", type=int, default=2)
     parser.add_argument("--scale", type=float, default=0.3)
     parser.add_argument("--num-workers", type=int, default=2,
-                        help="independent worker processes to spawn")
+                        help="independent worker processes to spawn (with "
+                             "--supervise: the supervisor's --max-workers)")
+    parser.add_argument("--broker", default="spool", choices=BROKER_BACKENDS,
+                        help="broker backend coordinating submitter and workers")
+    parser.add_argument("--supervise", action="store_true",
+                        help="replace the hand-spawned workers with one "
+                             "elastic supervisor process")
     parser.add_argument("--shard-by", default="dataset", choices=SHARD_POLICIES,
-                        help="spool shard policy (dataset keeps workers on "
+                        help="queue shard policy (dataset keeps workers on "
                              "corpora they already generated)")
     parser.add_argument("--claim-batch", type=int, default=DEFAULT_CLAIM_BATCH,
-                        help="tasks each worker claims per spool scan")
+                        help="tasks each worker claims per queue scan")
     parser.add_argument("--work-dir", default=None,
                         help="spool/cache parent directory (default: a temp dir)")
     parser.add_argument("--keep-dirs", action="store_true",
@@ -107,12 +154,22 @@ def main() -> None:
         for framework in ("activedp", "uncertainty")
     ]
 
-    print(f"Spawning {args.num_workers} worker daemon(s) against {spool} "
-          f"(shard_by={args.shard_by}, claim_batch={args.claim_batch}) ...")
-    workers = [
-        spawn_worker(spool, cache_dir, i, args.claim_batch)
-        for i in range(args.num_workers)
-    ]
+    supervisor = None
+    workers: list[subprocess.Popen] = []
+    if args.supervise:
+        print(f"Spawning a supervisor (max {args.num_workers} workers) against "
+              f"{spool} [broker={args.broker}] ...")
+        supervisor = spawn_supervisor(
+            spool, cache_dir, args.num_workers, args.claim_batch, args.broker
+        )
+    else:
+        print(f"Spawning {args.num_workers} worker daemon(s) against {spool} "
+              f"[broker={args.broker}, shard_by={args.shard_by}, "
+              f"claim_batch={args.claim_batch}] ...")
+        workers = [
+            spawn_worker(spool, cache_dir, i, args.claim_batch, args.broker)
+            for i in range(args.num_workers)
+        ]
     try:
         print(f"Submitting {len(jobs)} job(s) x {args.seeds} seed(s) distributed ...")
         distributed = run_experiment_grid(
@@ -120,6 +177,7 @@ def main() -> None:
             protocol,
             ExecutionConfig(
                 mode="distributed",
+                broker=args.broker,
                 spool_dir=spool,
                 cache_dir=cache_dir,
                 wait_timeout=600,
@@ -131,6 +189,12 @@ def main() -> None:
     finally:
         for worker in workers:
             worker.wait(timeout=60)
+        if supervisor is not None:
+            # Service-mode supervisor: ask the fleet to stand down now that
+            # the grid is done (exit 130 is its clean-interrupt code).
+            supervisor.send_signal(signal.SIGINT)
+            code = supervisor.wait(timeout=60)
+            assert code == 130, f"supervisor exited {code}, expected 130 (SIGINT)"
 
     print("Re-running the same grid serially in-process (no cache) ...")
     serial = run_experiment_grid(

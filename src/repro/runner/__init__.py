@@ -6,14 +6,22 @@ One orchestration path for every experiment grid in the reproduction:
 * :mod:`repro.runner.cache` — content-addressed on-disk result cache;
 * :mod:`repro.runner.executor` — the per-trial loop and process-pool
   scheduling with a serial fallback;
-* :mod:`repro.runner.broker` — filesystem-spool work queue for distributing
-  trials across machines (dataset-sharded task layout, atomic rename leases
-  claimed in batches, TTL + heartbeat crash recovery, failure logs);
+* :mod:`repro.runner.brokers` — the pluggable work-queue protocol for
+  distributing trials across machines (abstract :class:`Broker` with
+  TTL + heartbeat crash recovery and failure logs), with two backends:
+  the filesystem spool (dataset-sharded task layout, atomic rename
+  leases claimed in batches — also importable as
+  :mod:`repro.runner.broker`, its pre-package name) and a WAL-mode
+  SQLite queue with transactional claims;
 * :mod:`repro.runner.worker` — the worker daemon
-  (``python -m repro.runner.worker``) that leases and executes spooled
-  trials anywhere the spool and cache directories are visible (imported
+  (``python -m repro.runner.worker``) that leases and executes brokered
+  trials anywhere the queue and cache locations are visible (imported
   lazily — not re-exported here — so running it with ``-m`` does not
   double-import the module);
+* :mod:`repro.runner.supervisor` — the elastic-fleet supervisor
+  (``python -m repro.runner.supervisor``) that spawns and retires worker
+  daemons from queue depth and shard backlog (imported lazily for the
+  same ``-m`` reason as the worker);
 * :mod:`repro.runner.engine` — grid expansion, cache-first scheduling
   (local, process-pool or distributed) and aggregation into
   :class:`~repro.experiments.protocol.FrameworkResult`s.
@@ -24,15 +32,21 @@ protocol, and ``docs/adding_experiments.md`` for how to add a grid.
 
 from repro.runner.spec import CACHE_FORMAT_VERSION, TrialSpec
 from repro.runner.cache import ResultCache
-from repro.runner.broker import (
+from repro.runner.brokers import (
+    BROKER_BACKENDS,
     DEFAULT_CLAIM_BATCH,
     DEFAULT_LEASE_TTL,
     SHARD_POLICIES,
+    Broker,
+    BrokerTimeout,
     LeasedTrial,
     RemoteTrialError,
     SpoolBroker,
     SpoolStats,
     SpoolTimeout,
+    SqliteBroker,
+    SqliteStats,
+    create_broker,
 )
 from repro.runner.executor import execute_trials, run_trial, run_trial_on_split
 from repro.runner.engine import (
@@ -49,17 +63,23 @@ from repro.runner.engine import (
 
 __all__ = [
     "nest_results",
+    "BROKER_BACKENDS",
     "CACHE_FORMAT_VERSION",
     "DEFAULT_CLAIM_BATCH",
     "DEFAULT_LEASE_TTL",
     "SHARD_POLICIES",
     "TrialSpec",
     "ResultCache",
+    "Broker",
+    "BrokerTimeout",
     "LeasedTrial",
     "RemoteTrialError",
     "SpoolBroker",
     "SpoolStats",
     "SpoolTimeout",
+    "SqliteBroker",
+    "SqliteStats",
+    "create_broker",
     "execute_trials",
     "run_trial",
     "run_trial_on_split",

@@ -1,0 +1,770 @@
+"""Filesystem-spool broker: the reference :class:`Broker` implementation.
+
+The spool turns a shared directory (NFS mount, bind mount, plain local
+directory) into a work queue for :class:`~repro.runner.spec.TrialSpec`s.  No
+server process is involved; every operation is a single atomic filesystem
+rename, so any number of submitters and workers can share one spool.
+
+Spool layout::
+
+    <spool>/
+        tasks/<shard>/<key>.task              pending trials (pickled
+                                              TrialSpec, atomic write),
+                                              sharded by dataset (default)
+                                              or by key prefix
+        tasks/<key>.task                      legacy unsharded pending
+                                              trials (still drained; see
+                                              "sharding" below)
+        tasks/.../<key>.task.corrupt          quarantined unreadable tasks
+        leases/<key>[.<shard>].<worker>.<token>.lease
+                                              claimed trials (mtime =
+                                              worker heartbeat; the shard
+                                              component records the task's
+                                              home so releases restore it)
+        failed/<key>.json                     failure logs ({key, worker,
+                                              error, traceback})
+
+Protocol mapping (see :mod:`repro.runner.brokers.base` for the contract):
+
+* **enqueue** — the submitter writes one ``tasks/<shard>/<key>.task`` file
+  per pending trial (tempfile + ``os.replace``).  The file name *is* the
+  trial's content key, so two submitters enqueueing the same trial write the
+  same (identical) file and the trial runs once.
+  :meth:`SpoolBroker.enqueue_batch` snapshots the pending and leased key
+  sets **once** for a whole grid, so submitting N trials costs a constant
+  number of listings instead of N cross-shard existence probes.
+* **lease** — a worker claims a task by renaming it into ``leases/`` under a
+  claim name unique to this worker and claim.  ``os.rename`` is atomic on
+  the *source*, so exactly one of any number of racing workers wins; the
+  losers see ``FileNotFoundError`` and move on to the next candidate.
+  :meth:`SpoolBroker.lease_batch` claims up to *n* tasks from a **single**
+  shard listing, amortising the directory scan over the whole batch, and
+  scans shards and tasks in randomised order (sticking to the previously
+  fruitful shard first — dataset affinity) so racing workers spread out
+  instead of piling onto one sorted listing.  Because the claim name encodes
+  the holder, a worker can always tell whether a lease is still its own (see
+  **fail** below).
+* **heartbeat** — while executing, the worker periodically touches its lease
+  file; the mtime is the liveness signal.
+* **complete** — the worker writes the result through the shared
+  :class:`~repro.runner.cache.ResultCache` *first*, then unlinks the lease.
+  Completion is therefore observable before the lease disappears; a crash
+  between the two steps only leaves a lease that expires and a cached
+  result the next leaseholder discovers and serves without re-executing.
+* **release** — anyone (the polling submitter, typically) may rename a lease
+  whose mtime is older than the TTL back into ``tasks/`` (into the shard the
+  claim name records, so re-offers keep their dataset affinity), re-offering
+  a dead worker's trial.  :meth:`SpoolBroker.release_expired` accepts a
+  *shards* restriction: the home shard is parsed from the lease **name**, so
+  leases outside the shards of interest are skipped before any stat call —
+  a submitter policing its own grid on a busy shared spool pays nothing for
+  the other submitters' live leases.  If the TTL fires on a *live* worker
+  (e.g. a long GC pause), two workers may briefly execute the same trial;
+  both write the same content-addressed cache entry, so duplicate execution
+  is wasted work but never wrong results.
+* **fail** — a trial that raises is recorded under ``failed/`` with the full
+  traceback; the submitter surfaces it as :class:`RemoteTrialError` instead
+  of waiting forever.  A worker whose claim was revoked (its lease expired
+  and was re-offered while the trial was failing) does *not* record the
+  failure: the trial belongs to someone else now, and a machine-local error
+  from a stale holder must not abort a grid a healthy retry is completing.
+
+Sharding and the PR 4 compat story: earlier spools kept every pending task
+directly under ``tasks/``, which made every worker scan the same sorted
+listing and race the same lowest-key task — W workers cost W−1 failed
+renames per claim and one full listing per single lease.  Tasks now land in
+a per-shard subdirectory (``shard_by="dataset"`` by default, so workers that
+generated a dataset's corpus keep leasing trials that reuse it; ``"hash"``
+shards by the key's first two hex chars; ``"none"`` reproduces the flat
+layout).  Workers scan both the shard subdirectories *and* any flat
+``tasks/<key>.task`` files, so a spool written by the old layout — or by a
+submitter configured differently — still drains; flat tasks are claimed,
+heartbeated and re-offered under their original flat location and lease-name
+format.  :attr:`SpoolBroker.stats` counts listings and rename attempts so
+contention is measurable (``benchmarks/bench_spool.py`` and
+``benchmarks/bench_broker.py``).
+
+The submitter side (:meth:`Broker.wait <repro.runner.brokers.base.Broker.wait>`)
+is the generic polling loop from the base protocol, driven by one
+directory-listing snapshot per spool directory per round instead of a stat
+per pending key per round.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import random
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.runner.brokers.base import (
+    _FLAT,
+    DEFAULT_CLAIM_BATCH,
+    DEFAULT_LEASE_TTL,
+    SHARD_POLICIES,
+    Broker,
+    BrokerTimeout,
+    LeasedTrial,
+    RemoteTrialError,
+    SpoolTimeout,
+    sanitize_token,
+)
+from repro.runner.cache import atomic_write_bytes
+from repro.runner.spec import TrialSpec
+
+__all__ = [
+    "DEFAULT_CLAIM_BATCH",
+    "DEFAULT_LEASE_TTL",
+    "SHARD_POLICIES",
+    "BrokerTimeout",
+    "LeasedTrial",
+    "RemoteTrialError",
+    "SpoolBroker",
+    "SpoolStats",
+    "SpoolTimeout",
+]
+
+# Historical module-local name for the shared shard/lease-component
+# normaliser (kept: this module is also importable as repro.runner.broker).
+_sanitize = sanitize_token
+
+
+@dataclass
+class SpoolStats:
+    """Spool round-trip counters of one :class:`SpoolBroker` instance.
+
+    The contention fix is only real if it is measurable: these counters are
+    what ``benchmarks/bench_spool.py`` (and the CI contention smoke) assert
+    on.  They are plain per-instance ints — give each worker thread its own
+    broker when aggregating across workers.
+
+    Attributes
+    ----------
+    listings:
+        Directory listings performed (task-shard scans, snapshot sweeps).
+    rename_attempts:
+        Claim renames attempted by :meth:`SpoolBroker.lease_batch`.
+    failed_renames:
+        Claim renames lost to another worker — the wasted spool round-trips
+        sharding and randomised scan order exist to eliminate.
+    claims:
+        Tasks successfully claimed.
+    batches:
+        :meth:`SpoolBroker.lease_batch` calls that scanned the spool.
+    """
+
+    listings: int = 0
+    rename_attempts: int = 0
+    failed_renames: int = 0
+    claims: int = 0
+    batches: int = 0
+
+    def renames_per_claim(self) -> float:
+        """Average claim renames spent per successful claim."""
+        return self.rename_attempts / max(self.claims, 1)
+
+    def listings_per_claim(self) -> float:
+        """Average directory listings spent per successful claim."""
+        return self.listings / max(self.claims, 1)
+
+
+class SpoolBroker(Broker):
+    """Work queue over a shared spool directory (see module docstring).
+
+    Parameters
+    ----------
+    spool:
+        The shared directory.  Created (with its subdirectories) lazily on
+        first use; submitters and workers must point at the same path.
+    lease_ttl:
+        Seconds without a heartbeat after which a lease counts as abandoned.
+    shard_by:
+        Where :meth:`enqueue` files tasks: ``"dataset"`` (default) groups
+        trials of one dataset in one shard so workers keep generated corpora
+        warm, ``"hash"`` spreads them by key prefix, ``"none"`` writes the
+        legacy flat layout.  Workers drain every shard *and* the flat
+        location regardless of their own setting.
+    scan_order:
+        ``"random"`` (default) randomises the shard and in-shard scan order
+        so racing workers spread out; ``"sorted"`` scans deterministically
+        (useful for tests and for measuring the pre-sharding baseline).
+    """
+
+    def __init__(
+        self,
+        spool: str | Path,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        shard_by: str = "dataset",
+        scan_order: str = "random",
+    ):
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if shard_by not in SHARD_POLICIES:
+            raise ValueError(
+                f"shard_by must be one of {SHARD_POLICIES}, got {shard_by!r}"
+            )
+        if scan_order not in ("random", "sorted"):
+            raise ValueError(
+                f"scan_order must be 'random' or 'sorted', got {scan_order!r}"
+            )
+        self.root = Path(spool)
+        self.lease_ttl = float(lease_ttl)
+        self.shard_by = shard_by
+        self.scan_order = scan_order
+        self.tasks_dir = self.root / "tasks"
+        self.leases_dir = self.root / "leases"
+        self.failed_dir = self.root / "failed"
+        self.stats = SpoolStats()
+        self._rng = random.Random()
+        self._affinity_shard: str | None = None
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def location(self) -> Path:
+        """The spool directory (shown in timeout diagnostics)."""
+        return self.root
+
+    def task_path(self, spec: TrialSpec | str) -> Path:
+        """Pending-task file path for a spec or key (under its home shard)."""
+        return self._task_home(self.key_of(spec), self.shard_for(spec))
+
+    def _task_home(self, key: str, shard: str) -> Path:
+        base = self.tasks_dir / shard if shard else self.tasks_dir
+        return base / f"{key}.task"
+
+    def failure_path(self, spec: TrialSpec | str) -> Path:
+        """Failure-log file path for a spec or key."""
+        return self.failed_dir / f"{self.key_of(spec)}.json"
+
+    @staticmethod
+    def _entry_key(entry: Path) -> str:
+        # Spool entries all lead with the content key (<key>.task,
+        # <key>.json, <key>[.<shard>].<worker>.<token>.lease); the key is a
+        # hex digest and can never contain a dot itself.
+        return entry.name.split(".", 1)[0]
+
+    @staticmethod
+    def _lease_home_of(name: str) -> tuple[str, str]:
+        # <key>.<worker>.<token>.lease        -> flat/legacy task location
+        # <key>.<shard>.<worker>.<token>.lease -> sharded task location
+        # (shard, worker and token components are all dot-free by
+        # construction, so the component count disambiguates the formats).
+        parts = name.split(".")
+        shard = parts[1] if len(parts) == 5 else _FLAT
+        return parts[0], shard
+
+    def _leases_for(self, spec: TrialSpec | str) -> Iterator[Path]:
+        if self.leases_dir.is_dir():
+            yield from self.leases_dir.glob(f"{self.key_of(spec)}.*.lease")
+
+    def is_claimed(self, spec: TrialSpec | str) -> bool:
+        """Whether any worker currently holds a lease on the trial."""
+        return next(self._leases_for(spec), None) is not None
+
+    def _ensure_dirs(self) -> None:
+        for directory in (self.tasks_dir, self.leases_dir, self.failed_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- submitter side ---------------------------------------------------
+
+    def enqueue(self, spec: TrialSpec) -> bool:
+        """Offer *spec* to the workers; returns whether a task file was written.
+
+        Nothing is written when the trial is already pending or currently
+        leased by a worker.  The pending probe covers every location a
+        submitter policy could have filed the task under — its dataset
+        shard, its key-prefix shard and the legacy flat path — so a
+        submitter configured with a *different* ``shard_by`` policy sees an
+        already-pending trial instead of filing a second copy.  (The probe
+        is best-effort for *concurrent* cross-policy enqueues: two racing
+        submitters with different policies can still write two copies,
+        which costs a duplicate execution but never wrong results — the
+        cache is content-addressed.  Same-policy submitters target the
+        identical path and stay fully idempotent.)  A stale failure log for the same
+        key is cleared only when a task file is actually (re-)written —
+        re-submitting is the retry path after a fixed environment, but an
+        enqueue that changes nothing must not wipe a log another
+        submitter's :meth:`wait` is about to raise.
+        """
+        self._ensure_dirs()
+        key = spec.key
+        task = self.task_path(spec)
+        candidates = {task, self._task_home(key, _FLAT), self._task_home(key, key[:2])}
+        dataset_shard = self._dataset_shard(spec)
+        if dataset_shard:
+            candidates.add(self._task_home(key, dataset_shard))
+        if any(candidate.exists() for candidate in candidates) or self.is_claimed(key):
+            return False
+        self._write_task(task, spec)
+        return True
+
+    def enqueue_batch(self, specs: Sequence[TrialSpec]) -> int:
+        """Offer every spec in *specs*; returns how many task files were written.
+
+        Equivalent to enqueueing one at a time, but the already-pending and
+        already-leased checks run against **one** snapshot of the spool
+        (one ``tasks/`` sweep + one ``leases/`` listing) instead of up to
+        four existence probes and a lease glob per spec, and each shard
+        directory is created once per batch rather than once per task.  On
+        a paper-scale grid this turns submission from O(N) spool round
+        trips into O(shards).
+
+        The per-spec semantics are unchanged: a trial already pending
+        (under *any* policy's location) or currently leased is skipped, and
+        a stale failure log is cleared only for trials actually written.
+        The snapshot is best-effort for *concurrent* enqueues exactly like
+        :meth:`enqueue`'s probe — duplicate copies cost a duplicate
+        execution, never wrong results.
+        """
+        if not specs:
+            return 0
+        self._ensure_dirs()
+        skip = self._task_key_snapshot() | self._leased_key_snapshot()
+        written = 0
+        for spec in specs:
+            if spec.key in skip:
+                continue
+            self._write_task(self.task_path(spec), spec)
+            skip.add(spec.key)  # same-key duplicates within one batch
+            written += 1
+        return written
+
+    def _write_task(self, task: Path, spec: TrialSpec) -> None:
+        """Atomically write one task file, then clear any stale failure log."""
+        payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        written = False
+        for _ in range(10):
+            task.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                atomic_write_bytes(task, payload)
+                written = True
+                break
+            except FileNotFoundError:
+                # A worker rmdir'ed the just-drained shard between our
+                # mkdir and the tempfile creation; recreate and retry.
+                continue
+        if not written:
+            raise OSError(f"shard directory for {task} keeps vanishing")
+        # Clear the stale log only now that the retry actually exists — a
+        # failed write must not discard the failure evidence.
+        try:
+            self.failure_path(spec.key).unlink()
+        except OSError:
+            pass
+
+    def release_expired(
+        self,
+        keys: Sequence[str] | None = None,
+        shards: Iterable[str] | None = None,
+    ) -> int:
+        """Re-offer leases whose heartbeat is older than the TTL.
+
+        *keys* restricts the sweep to the given content keys (a submitter
+        only polices its own trials on a shared spool); *shards* restricts
+        it to leases whose claim name records a home shard in the given set.
+        Both filters are decided from the lease **name** alone — no stat
+        call is spent on a lease outside the scope, so a scoped sweep on a
+        busy shared spool only pays for the leases it could actually
+        re-offer.  ``None`` for either means no restriction.  Each re-offer
+        restores the task to the shard its claim name records (flat for
+        legacy-format leases), so crash recovery preserves dataset
+        affinity.  Returns the number of leases re-offered.
+        """
+        wanted = None if keys is None else set(keys)
+        in_scope = None if shards is None else set(shards)
+        released = 0
+        if not self.leases_dir.is_dir():
+            return released
+        now = time.time()
+        self.stats.listings += 1
+        for lease in self.leases_dir.glob("*.lease"):
+            key, shard = self._lease_home_of(lease.name)
+            if wanted is not None and key not in wanted:
+                continue
+            if in_scope is not None and shard not in in_scope:
+                continue
+            try:
+                age = now - lease.stat().st_mtime
+            except OSError:
+                continue  # completed/released under us
+            if age <= self.lease_ttl:
+                continue
+            task = self._task_home(key, shard)
+            try:
+                if task.exists():
+                    # Already re-offered by someone else; dropping the dead
+                    # lease is cleanup, not a re-offer — it doesn't count.
+                    lease.unlink()
+                    continue
+                task.parent.mkdir(parents=True, exist_ok=True)
+                os.rename(lease, task)
+            except OSError:
+                continue  # lost the race to another policing process
+            released += 1
+        return released
+
+    def failure_for(self, spec: TrialSpec | str) -> dict | None:
+        """The failure log for a trial, or ``None`` if it has not failed."""
+        try:
+            return json.loads(self.failure_path(spec).read_text())
+        except OSError:
+            return None
+        except ValueError:
+            return None  # half-written by a crashed worker: not actionable
+
+    # -- snapshot hooks for the generic wait loop -------------------------
+
+    def _failed_key_snapshot(self) -> set[str]:
+        """Content keys with a failure log (one ``failed/`` listing)."""
+        return self._key_snapshot(self.failed_dir, "*.json")
+
+    def _pending_key_snapshot(self) -> set[str]:
+        """Content keys of every pending task (one ``tasks/`` sweep)."""
+        return self._task_key_snapshot()
+
+    def _leased_key_snapshot(self) -> set[str]:
+        """Content keys of every live lease (one ``leases/`` listing)."""
+        return self._key_snapshot(self.leases_dir, "*.lease")
+
+    def _key_snapshot(self, directory: Path, pattern: str) -> set[str]:
+        """Content keys present in one spool directory (single listing)."""
+        if not directory.is_dir():
+            return set()
+        self.stats.listings += 1
+        try:
+            return {self._entry_key(path) for path in directory.glob(pattern)}
+        except OSError:
+            return set()  # directory pruned between the check and the scan
+
+    def _shard_entries(self) -> tuple[list[Path], list[str]]:
+        """One listing of ``tasks/``: (flat task files, shard dir names)."""
+        self.stats.listings += 1
+        try:
+            entries = list(self.tasks_dir.iterdir())
+        except OSError:
+            return [], []
+        flat_tasks: list[Path] = []
+        shards: list[str] = []
+        for entry in entries:
+            name = entry.name
+            if name.endswith(".task"):
+                flat_tasks.append(entry)
+            elif not name.endswith((".corrupt", ".tmp")):
+                shards.append(name)
+        return flat_tasks, shards
+
+    def _task_key_snapshot(self) -> set[str]:
+        """Content keys of every pending task, flat and sharded."""
+        keys: set[str] = set()
+        if not self.tasks_dir.is_dir():
+            return keys
+        flat_tasks, shards = self._shard_entries()
+        for task in flat_tasks:
+            keys.add(self._entry_key(task))
+        for shard in shards:
+            keys |= self._key_snapshot(self.tasks_dir / shard, "*.task")
+        return keys
+
+    def _any_fresh_lease(self, keys: Sequence[str]) -> bool:
+        """Whether any of *keys* is claimed with an unexpired heartbeat."""
+        if not self.leases_dir.is_dir():
+            return False
+        now = time.time()
+        self.stats.listings += 1
+        for lease in self.leases_dir.glob("*.lease"):
+            if self._entry_key(lease) not in keys:
+                continue
+            try:
+                if now - lease.stat().st_mtime <= self.lease_ttl:
+                    return True
+            except OSError:
+                continue
+        return False
+
+    # -- worker side ------------------------------------------------------
+
+    def lease_batch(self, worker_id: str = "", limit: int = DEFAULT_CLAIM_BATCH) -> list[LeasedTrial]:
+        """Claim up to *limit* pending trials, amortising listings over renames.
+
+        The shard that satisfied the previous batch is tried first, alone:
+        one directory listing of *that shard only* serves the whole batch,
+        and with the default dataset sharding it keeps a worker on trials
+        whose generated corpus it already has warm (placement affinity).
+        Only when the affinity shard is drained does the worker pay a full
+        sweep — one listing of ``tasks/`` to discover shards, then shards
+        visited in randomised order (``scan_order="random"``), topping the
+        batch up across shards so the tail of a grid still fills batches
+        instead of fragmenting into one-claim scans.  Candidates within a
+        shard are also scanned in randomised order, so racing workers
+        spread out instead of piling onto one sorted listing.  Flat
+        (legacy / ``shard_by="none"``) tasks are drained through the same
+        sweep.
+
+        Losing a rename race just moves on to the next candidate.  Each
+        claim lands under ``<key>[.<shard>].<worker>.<token>.lease`` —
+        unique per claim, so the lease file doubles as an ownership
+        certificate (and records who holds the trial, and where to restore
+        it, for releases and spool post-mortems).  A task file that cannot
+        be unpickled is quarantined next to its task location
+        (``<key>.task.corrupt``) so it cannot wedge the queue — the
+        submitter's self-healing re-enqueue restores a fresh copy.
+        """
+        if limit < 1:
+            return []
+        if not self.tasks_dir.is_dir():
+            return []
+        holder = _sanitize(worker_id) or "anon"
+        self.stats.batches += 1
+        if self.scan_order == "random" and self._affinity_shard:
+            # Fast path: as long as the previously fruitful shard keeps
+            # yielding work, one listing of *that shard alone* serves the
+            # whole batch — no re-discovery of the shard set every call.
+            claimed = self._claim_from_shard(self._affinity_shard, None, holder, limit)
+            if claimed:
+                return claimed
+            self._affinity_shard = None  # shard drained: fall back to a sweep
+        flat_tasks, shards = self._shard_entries()
+        order: list[str] = list(shards)
+        if flat_tasks:
+            order.append(_FLAT)
+        if self.scan_order == "sorted":
+            order.sort()  # "" sorts first: legacy tasks drain deterministically
+        else:
+            self._rng.shuffle(order)
+        claimed: list[LeasedTrial] = []
+        for shard in order:
+            got = self._claim_from_shard(
+                shard,
+                flat_tasks if shard == _FLAT else None,
+                holder,
+                limit - len(claimed),
+            )
+            if got:
+                claimed += got
+                # Remember the latest fruitful shard: the next batch's fast
+                # path starts there (dataset affinity).
+                self._affinity_shard = shard or None
+            elif claimed:
+                # An empty shard while already holding work means the spool
+                # is draining: start executing the partial batch now instead
+                # of paying a listing per mostly-empty shard to top it up.
+                break
+            if len(claimed) >= limit:
+                break
+        return claimed
+
+    def _claim_from_shard(
+        self,
+        shard: str,
+        flat_tasks: list[Path] | None,
+        holder: str,
+        limit: int,
+    ) -> list[LeasedTrial]:
+        """Claim up to *limit* tasks from one shard (one listing, n renames)."""
+        if flat_tasks is not None:
+            tasks = list(flat_tasks)  # already listed by the caller's sweep
+        else:
+            self.stats.listings += 1
+            try:
+                tasks = list((self.tasks_dir / shard).glob("*.task") if shard else ())
+            except OSError:
+                # Another worker pruned this just-drained shard between our
+                # sweep's discovery and this listing (pathlib only swallows
+                # PermissionError, not FileNotFoundError).
+                return []
+            if not tasks and shard:
+                # Remove a drained shard directory so sweeps stop probing
+                # it — on a long grid most shards end up empty, and every
+                # probe of a dead shard is a wasted listing.  rmdir is
+                # atomic and fails harmlessly while the shard still holds
+                # anything (a racing enqueue, a quarantined task); enqueue
+                # retries its write if the directory vanishes under it.
+                try:
+                    os.rmdir(self.tasks_dir / shard)
+                except OSError:
+                    pass
+        if self.scan_order == "sorted":
+            tasks.sort()
+        else:
+            self._rng.shuffle(tasks)
+        claimed: list[LeasedTrial] = []
+        for task in tasks:
+            lease = self._claim(task, shard, holder)
+            if lease is None:
+                continue
+            claimed.append(lease)
+            if len(claimed) >= limit:
+                break
+        return claimed
+
+    def _claim(self, task: Path, shard: str, holder: str) -> LeasedTrial | None:
+        """Attempt one claim rename; ``None`` on a lost race or corrupt task."""
+        key = task.name[: -len(".task")]
+        token = uuid.uuid4().hex[:8]
+        if shard:
+            name = f"{key}.{shard}.{holder}.{token}.lease"
+        else:
+            name = f"{key}.{holder}.{token}.lease"
+        lease = self.leases_dir / name
+        self.stats.rename_attempts += 1
+        try:
+            os.rename(task, lease)
+        except OSError:
+            self.stats.failed_renames += 1
+            return None  # another worker won this task
+        try:
+            spec = pickle.loads(lease.read_bytes())
+        except Exception:
+            spec = None
+        if not isinstance(spec, TrialSpec):
+            # Quarantine next to the task, not inside leases/: nothing ever
+            # cleans leases/, and post-mortems must not conflate a bad task
+            # file with a real claim.  counts() reports these.
+            quarantine = task.with_name(task.name + ".corrupt")
+            for _ in range(3):
+                try:
+                    os.replace(lease, quarantine)
+                    break
+                except FileNotFoundError:
+                    # Claiming this (last) task emptied the shard and a
+                    # concurrent sweep pruned its directory: recreate it,
+                    # or the garbage would linger as a live-looking lease.
+                    quarantine.parent.mkdir(parents=True, exist_ok=True)
+                    continue
+                except OSError:
+                    break
+            return None
+        self.stats.claims += 1
+        return LeasedTrial(key=key, spec=spec, lease_path=lease)
+
+    def heartbeat(self, lease: LeasedTrial) -> None:
+        """Refresh the lease's liveness signal (touch its mtime)."""
+        try:
+            os.utime(lease.lease_path)
+        except OSError:
+            pass  # lease was released/expired under us; expiry handles it
+
+    def complete(self, lease: LeasedTrial) -> None:
+        """Drop the lease after the result reached the cache."""
+        try:
+            lease.lease_path.unlink()
+        except OSError:
+            pass
+
+    def release(self, lease: LeasedTrial) -> None:
+        """Voluntarily re-offer a claimed trial (worker shutting down).
+
+        The task is restored to the home its claim name records — its shard
+        for sharded claims, the flat location for legacy-format leases — so
+        a release never migrates a task between layouts.
+        """
+        key, shard = self._lease_home_of(lease.lease_path.name)
+        task = self._task_home(key, shard)
+        for _ in range(3):
+            try:
+                if task.exists():
+                    lease.lease_path.unlink()
+                else:
+                    task.parent.mkdir(parents=True, exist_ok=True)
+                    os.rename(lease.lease_path, task)
+                return
+            except FileNotFoundError:
+                if not lease.lease_path.exists():
+                    return  # lease revoked under us; nothing left to re-offer
+                continue  # shard dir rmdir'ed under the rename: retry mkdir
+            except OSError:
+                return
+
+    def fail(self, lease: LeasedTrial, worker_id: str, error: BaseException, traceback_text: str) -> None:
+        """Record a trial failure and drop the lease — if the claim is still ours.
+
+        The failure log (not the exception) is what crosses the machine
+        boundary; :meth:`wait` re-raises it as :class:`RemoteTrialError`.
+
+        A revoked claim (the lease file is gone: the TTL expired and the
+        trial was re-offered while this worker was busy dying) records
+        nothing: the failure may be local to this worker, and aborting the
+        submitter would discard a healthy retry already in flight.  The
+        check races revocation by design — the window shrinks from the
+        whole trial duration to one stat call, and the residual race only
+        re-raises a genuine failure one retry later.
+        """
+        if not lease.lease_path.exists():
+            return
+        self._ensure_dirs()
+        payload = {
+            "key": lease.key,
+            "worker": worker_id,
+            "error": repr(error),
+            "traceback": traceback_text,
+        }
+        atomic_write_bytes(
+            self.failure_path(lease.key),
+            json.dumps(payload, indent=2).encode("utf-8"),
+        )
+        self.complete(lease)
+
+    # -- introspection ----------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """``{"tasks", "leases", "failed", "corrupt"}`` spool snapshot.
+
+        ``tasks`` spans the flat location and every shard; ``corrupt``
+        counts quarantined task files (``*.task.corrupt`` anywhere under
+        ``tasks/``, plus any ``*.lease.corrupt`` a pre-sharding broker left
+        inside ``leases/``).
+        """
+        tasks = corrupt = 0
+        if self.tasks_dir.is_dir():
+            flat_tasks, shards = self._shard_entries()
+            tasks += len(flat_tasks)
+            corrupt += sum(1 for _ in self.tasks_dir.glob("*.task.corrupt"))
+            for shard in shards:
+                try:
+                    entries = list((self.tasks_dir / shard).iterdir())
+                except OSError:
+                    continue  # shard pruned between discovery and listing
+                for entry in entries:
+                    if entry.name.endswith(".task"):
+                        tasks += 1
+                    elif entry.name.endswith(".task.corrupt"):
+                        corrupt += 1
+        leases = failed = 0
+        if self.leases_dir.is_dir():
+            leases = sum(1 for _ in self.leases_dir.glob("*.lease"))
+            corrupt += sum(1 for _ in self.leases_dir.glob("*.lease.corrupt"))
+        if self.failed_dir.is_dir():
+            failed = sum(1 for _ in self.failed_dir.glob("*.json"))
+        return {"tasks": tasks, "leases": leases, "failed": failed, "corrupt": corrupt}
+
+    def backlog(self) -> dict[str, int]:
+        """Scaling signals: pending depth and distinct shards holding work.
+
+        One ``tasks/`` sweep plus one listing per live shard — the same
+        cost as :meth:`counts` — returning ``{"tasks", "shards",
+        "leases"}`` for the fleet supervisor: queue depth sizes the pool,
+        and the number of backlogged shards bounds how many workers can
+        claim without racing each other under dataset affinity.
+        """
+        tasks = 0
+        busy_shards: set[str] = set()
+        if self.tasks_dir.is_dir():
+            flat_tasks, shards = self._shard_entries()
+            if flat_tasks:
+                tasks += len(flat_tasks)
+                busy_shards.add(_FLAT)
+            for shard in shards:
+                pending = len(self._key_snapshot(self.tasks_dir / shard, "*.task"))
+                if pending:
+                    tasks += pending
+                    busy_shards.add(shard)
+        leases = 0
+        if self.leases_dir.is_dir():
+            leases = sum(1 for _ in self.leases_dir.glob("*.lease"))
+        return {"tasks": tasks, "shards": len(busy_shards), "leases": leases}

@@ -12,9 +12,10 @@ on.  The engine gives them one orchestration path:
    :class:`~repro.runner.cache.ResultCache` and schedules the rest through
    :func:`~repro.runner.executor.execute_trials` (process-pool parallel
    across the *whole* grid, not per cell) — or, with
-   ``ExecutionConfig(mode="distributed", ...)``, enqueues them on a
-   :class:`~repro.runner.broker.SpoolBroker` for independently started
-   worker daemons and polls the shared cache for completion;
+   ``ExecutionConfig(mode="distributed", ...)``, enqueues them on the
+   configured :class:`~repro.runner.brokers.Broker` backend (filesystem
+   spool or SQLite) for independently started worker daemons and polls
+   the shared cache for completion;
 4. :func:`run_experiment_grid` folds the histories back into
    :class:`~repro.experiments.protocol.FrameworkResult`s per job.
 
@@ -32,11 +33,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.core.results import RunHistory
-from repro.runner.broker import (
+from repro.runner.brokers import (
+    BROKER_BACKENDS,
     DEFAULT_CLAIM_BATCH,
     DEFAULT_LEASE_TTL,
     SHARD_POLICIES,
-    SpoolBroker,
+    Broker,
+    create_broker,
 )
 from repro.runner.cache import ResultCache
 from repro.runner.executor import execute_trials
@@ -47,6 +50,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     # Annotation-only: a runtime import would make `import repro.runner`
     # circular through repro/experiments/__init__.py (see test_imports.py).
     from repro.experiments.protocol import EvaluationProtocol, FrameworkResult
+
+
+class _BrokerChoice(str):
+    """An :attr:`ExecutionConfig.broker` value: a backend name you can call.
+
+    Compares and reprs as the plain backend string (``config.broker ==
+    "sqlite"``) while staying callable — ``config.broker()`` builds the
+    configured backend, which is what every pre-package call site of the
+    former ``ExecutionConfig.broker()`` method expects.
+    """
+
+    _config: ExecutionConfig
+
+    def __new__(cls, value: str, config: ExecutionConfig | None = None):
+        """Wrap backend name *value*, remembering *config* for :meth:`__call__`."""
+        choice = str.__new__(cls, value)
+        choice._config = config
+        return choice
+
+    def __call__(self) -> Broker:
+        """Build the configured broker backend (see
+        :meth:`ExecutionConfig.create_broker`)."""
+        return self._config.create_broker()
 
 
 @dataclass(frozen=True)
@@ -69,12 +95,19 @@ class ExecutionConfig:
         knob).
     mode:
         ``"local"`` (default) executes trials in this process or its
-        process pool; ``"distributed"`` enqueues them on the spool for
-        independently started ``python -m repro.runner.worker`` daemons and
-        polls the cache for completion.
+        process pool; ``"distributed"`` enqueues them on the configured
+        broker backend for independently started ``python -m
+        repro.runner.worker`` daemons and polls the cache for completion.
+    broker:
+        Broker backend for ``mode="distributed"``: ``"spool"`` (default,
+        the filesystem spool) or ``"sqlite"`` (one WAL-mode database file
+        under ``spool_dir``).  The stored value is callable —
+        ``config.broker()`` builds the backend instance.  Match the
+        workers' ``--broker``.
     spool_dir:
-        Shared spool directory for ``mode="distributed"`` (the workers'
-        ``--spool``).
+        Shared broker location for ``mode="distributed"`` (the workers'
+        ``--spool``): the spool backend uses the directory itself, the
+        SQLite backend keeps ``broker.sqlite3`` inside it.
     lease_ttl:
         Seconds without a worker heartbeat before the submitter re-offers
         a claimed trial (crash recovery).  Match the workers'
@@ -99,6 +132,7 @@ class ExecutionConfig:
     cache_dir: str | Path | None = None
     use_cache: bool = True
     mode: str = "local"
+    broker: str = "spool"
     spool_dir: str | Path | None = None
     lease_ttl: float = DEFAULT_LEASE_TTL
     wait_timeout: float | None = None
@@ -110,6 +144,14 @@ class ExecutionConfig:
             raise ValueError(
                 f"mode must be 'local' or 'distributed', got {self.mode!r}"
             )
+        if self.broker not in BROKER_BACKENDS:
+            raise ValueError(
+                f"broker must be one of {BROKER_BACKENDS}, got {self.broker!r}"
+            )
+        # The field doubles as the backend factory: still a string (so
+        # `config.broker == "sqlite"` and repr stay plain), but calling it
+        # builds the backend — the pre-package `config.broker()` contract.
+        object.__setattr__(self, "broker", _BrokerChoice(str(self.broker), self))
         if self.shard_by not in SHARD_POLICIES:
             raise ValueError(
                 f"shard_by must be one of {SHARD_POLICIES}, got {self.shard_by!r}"
@@ -139,8 +181,9 @@ class ExecutionConfig:
         passes through; a string names a preset — ``"serial"``,
         ``"parallel"`` (all cores) or ``"distributed"`` (spool/cache
         directories from the ``REPRO_SPOOL_DIR`` / ``REPRO_CACHE_DIR``
-        environment variables, spool sharding and worker batch size from
-        ``REPRO_SPOOL_SHARD_BY`` / ``REPRO_CLAIM_BATCH``).
+        environment variables, the broker backend from ``REPRO_BROKER``,
+        spool sharding and worker batch size from ``REPRO_SPOOL_SHARD_BY``
+        / ``REPRO_CLAIM_BATCH``).
         """
         if value is None:
             return cls()
@@ -154,6 +197,7 @@ class ExecutionConfig:
             if value == "distributed":
                 return cls(
                     mode="distributed",
+                    broker=os.environ.get("REPRO_BROKER", "spool"),
                     spool_dir=os.environ.get("REPRO_SPOOL_DIR"),
                     cache_dir=os.environ.get("REPRO_CACHE_DIR"),
                     shard_by=os.environ.get("REPRO_SPOOL_SHARD_BY", "dataset"),
@@ -176,12 +220,19 @@ class ExecutionConfig:
             return None
         return ResultCache(self.cache_dir)
 
-    def broker(self) -> SpoolBroker:
-        """The spool broker for ``mode="distributed"``."""
+    def create_broker(self) -> Broker:
+        """Build the configured broker backend for ``mode="distributed"``.
+
+        Also reachable as ``config.broker()`` — the :attr:`broker` field is
+        callable — which is the spelling the pre-package API used.
+        """
         if self.spool_dir is None:
             raise ValueError("no spool_dir configured")
-        return SpoolBroker(
-            self.spool_dir, lease_ttl=self.lease_ttl, shard_by=self.shard_by
+        return create_broker(
+            str(self.broker),
+            self.spool_dir,
+            lease_ttl=self.lease_ttl,
+            shard_by=self.shard_by,
         )
 
 
@@ -306,8 +357,10 @@ def run_specs(
     try:
         if execution.mode == "distributed":
             broker = execution.broker()
-            for spec in pending_specs:
-                broker.enqueue(spec)
+            # One batched submission: the backend snapshots its pending and
+            # leased sets (or opens its transaction) once for the whole
+            # grid instead of paying per-task round trips.
+            broker.enqueue_batch(pending_specs)
             by_key = broker.wait(
                 pending_specs,
                 cache,

@@ -1,17 +1,20 @@
-"""Worker daemon: executes spooled trials on any machine that can see the spool.
+"""Worker daemon: executes brokered trials on any machine that can see the queue.
 
-Run one (or many) of these on every machine that shares the spool directory
+Run one (or many) of these on every machine that shares the broker location
 and the cache directory::
 
     python -m repro.runner.worker --spool /shared/spool --cache-dir /shared/cache
 
-The worker loops forever (until ``--max-trials`` or ``--idle-timeout``):
-claim a batch of pending trials from the
-:class:`~repro.runner.broker.SpoolBroker` (``--claim-batch`` tasks per shard
-listing — one directory scan amortised over the whole batch, and consecutive
-batches stick to the same dataset shard so generated corpora stay warm),
-heartbeat every held lease from a background thread, and execute the batch
-with the engine's canonical :func:`~repro.runner.executor.run_trial` loop.
+The worker talks only to the :class:`~repro.runner.brokers.Broker` protocol;
+``--broker`` (or ``REPRO_BROKER``) picks the backend — the filesystem spool
+(default) or the SQLite queue — and ``--spool`` names the shared location
+either way.  The worker loops forever (until ``--max-trials`` or
+``--idle-timeout``): claim a batch of pending trials (``--claim-batch``
+tasks per queue scan — one scan amortised over the whole batch, and
+consecutive batches stick to the same dataset shard so generated corpora
+stay warm), heartbeat every held lease from a background thread, and execute
+the batch with the engine's canonical
+:func:`~repro.runner.executor.run_trial` loop.
 Each result is written through the shared
 :class:`~repro.runner.cache.ResultCache` *while its lease is still
 heartbeating* — a slow publish (NFS, large history) must not let the lease
@@ -22,9 +25,10 @@ shutdown (interrupt), every lease not yet completed — including claimed but
 unstarted batch members — is voluntarily re-offered.
 
 Workers are stateless and interchangeable: all coordination lives in the
-spool's rename-based lease protocol, and results are content-addressed, so
-adding a worker never requires telling the submitter (or the other workers)
-about it.
+broker's lease protocol, and results are content-addressed, so adding a
+worker never requires telling the submitter (or the other workers) about it
+— which is exactly what lets ``repro.runner.supervisor`` scale the fleet up
+and down freely.
 """
 
 from __future__ import annotations
@@ -37,11 +41,12 @@ import threading
 import time
 import traceback
 
-from repro.runner.broker import (
+from repro.runner.brokers import (
+    BROKER_BACKENDS,
     DEFAULT_CLAIM_BATCH,
     DEFAULT_LEASE_TTL,
-    LeasedTrial,
-    SpoolBroker,
+    Broker,
+    create_broker,
 )
 from repro.runner.cache import ResultCache
 from repro.runner.executor import run_trial
@@ -63,7 +68,7 @@ class _Heartbeat(threading.Thread):
     submitter re-offer the trials.
     """
 
-    def __init__(self, broker: SpoolBroker, leases: list[LeasedTrial], interval: float):
+    def __init__(self, broker: Broker, leases: list, interval: float):
         super().__init__(daemon=True)
         self._broker = broker
         self._leases = list(leases)
@@ -76,12 +81,12 @@ class _Heartbeat(threading.Thread):
             for lease in self.outstanding():
                 self._broker.heartbeat(lease)
 
-    def outstanding(self) -> list[LeasedTrial]:
+    def outstanding(self) -> list:
         """The leases still held (claimed, neither completed nor released)."""
         with self._lock:
             return list(self._leases)
 
-    def discard(self, lease: LeasedTrial) -> None:
+    def discard(self, lease) -> None:
         """Stop heartbeating *lease* (it was completed, failed or released)."""
         with self._lock:
             if lease in self._leases:
@@ -103,14 +108,16 @@ def run_worker(
     claim_batch: int = DEFAULT_CLAIM_BATCH,
     worker_id: str | None = None,
     quiet: bool = False,
+    broker: str = "spool",
 ) -> int:
-    """Serve trials from *spool* until done; returns the number executed.
+    """Serve trials from the shared queue until done; returns the number executed.
 
     Parameters
     ----------
     spool:
-        Shared spool directory (same path the submitter passed to the
-        broker).
+        Shared broker location (same path the submitter configured): the
+        spool directory, or the directory/file the SQLite backend keeps
+        its database in.
     cache_dir:
         Shared :class:`ResultCache` root results are written through.
     max_trials:
@@ -136,10 +143,13 @@ def run_worker(
         Identity recorded in failure logs; defaults to ``host-pid``.
     quiet:
         Suppress per-trial progress lines on stderr.
+    broker:
+        Broker backend name (``"spool"`` or ``"sqlite"``); must match the
+        submitter's ``ExecutionConfig.broker``.
     """
     if claim_batch < 1:
         raise ValueError("claim_batch must be at least 1")
-    broker = SpoolBroker(spool, lease_ttl=lease_ttl)
+    broker = create_broker(broker, spool, lease_ttl=lease_ttl)
     cache = ResultCache(cache_dir)
     identity = worker_id or default_worker_id()
     heartbeat_interval = max(lease_ttl / 4.0, 0.05)
@@ -150,7 +160,7 @@ def run_worker(
 
     executed = 0
     idle_since = time.monotonic()
-    log(f"serving spool {broker.root} -> cache {cache.root}")
+    log(f"serving queue {broker.location} -> cache {cache.root}")
     while max_trials is None or executed < max_trials:
         want = claim_batch if max_trials is None else min(claim_batch, max_trials - executed)
         leases = broker.lease_batch(identity, limit=want)
@@ -243,9 +253,21 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.runner.worker",
         description="Execute spooled experiment trials on this machine.",
     )
-    parser.add_argument("--spool", required=True, help="shared spool directory")
+    parser.add_argument(
+        "--spool",
+        required=True,
+        help="shared broker location (spool directory, or the directory the "
+        "sqlite backend keeps its database in)",
+    )
     parser.add_argument(
         "--cache-dir", required=True, help="shared trial-result cache directory"
+    )
+    parser.add_argument(
+        "--broker",
+        choices=BROKER_BACKENDS,
+        default=os.environ.get("REPRO_BROKER", "spool"),
+        help="broker backend to claim trials from (env REPRO_BROKER; "
+        "default spool); must match the submitter's",
     )
     parser.add_argument(
         "--max-trials",
@@ -296,6 +318,7 @@ def main(argv: list[str] | None = None) -> int:
             claim_batch=args.claim_batch,
             worker_id=args.worker_id,
             quiet=args.quiet,
+            broker=args.broker,
         )
     except KeyboardInterrupt:
         return 130

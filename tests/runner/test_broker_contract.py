@@ -1,0 +1,412 @@
+"""Protocol-level contract suite, run identically against every broker backend.
+
+``tests/runner/test_broker.py`` pins the spool backend's *implementation*
+(lease-file names, shard directories, listing counts); this module pins the
+:class:`~repro.runner.brokers.base.Broker` *contract* — the semantics every
+backend must share for the engine, the worker daemon and the supervisor to
+be backend-agnostic.  Each test is parametrised over all of
+:data:`~repro.runner.brokers.BROKER_BACKENDS`, so adding a backend means
+adding one factory branch here and inheriting the whole suite.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.results import RunHistory
+from repro.experiments import EvaluationProtocol
+from repro.runner import (
+    BROKER_BACKENDS,
+    RemoteTrialError,
+    ResultCache,
+    SpoolTimeout,
+    SqliteBroker,
+    TrialSpec,
+    create_broker,
+)
+
+FAST = EvaluationProtocol(n_iterations=2, eval_every=2, n_seeds=2, dataset_scale=0.15)
+
+
+def _spec(seed=0, framework="uncertainty", dataset="youtube"):
+    return TrialSpec(framework=framework, dataset=dataset, seed=seed, protocol=FAST)
+
+
+def _history(spec):
+    # The cache quarantines anything that is not a RunHistory, so fake
+    # workers must publish the real type.
+    return RunHistory(framework=spec.framework, dataset=spec.dataset, seed=spec.seed)
+
+
+@pytest.fixture(params=BROKER_BACKENDS)
+def backend(request):
+    """The backend name under test (the suite runs once per backend)."""
+    return request.param
+
+
+@pytest.fixture()
+def make_broker(backend, tmp_path):
+    """Factory building brokers of the parametrised backend over one queue.
+
+    Multiple calls share the same location (the multi-submitter /
+    multi-worker scenarios need independent instances over one queue).
+    """
+
+    def build(**kwargs):
+        kwargs.setdefault("lease_ttl", 60.0)
+        return create_broker(backend, tmp_path / "queue", **kwargs)
+
+    return build
+
+
+def _backdate_lease(broker, lease, seconds=3600.0):
+    """Age a claim's heartbeat so the TTL sees it as abandoned (any backend)."""
+    if isinstance(broker, SqliteBroker):
+        with broker._tx() as conn:
+            conn.execute(
+                "UPDATE tasks SET heartbeat = heartbeat - ? WHERE key = ?",
+                (seconds, lease.key),
+            )
+    else:
+        import os
+
+        stamp = lease.lease_path.stat().st_mtime - seconds
+        os.utime(lease.lease_path, (stamp, stamp))
+
+
+class TestEnqueueContract:
+    def test_enqueue_is_idempotent_per_content_key(self, make_broker):
+        broker = make_broker()
+        spec = _spec()
+        assert broker.enqueue(spec) is True
+        assert broker.enqueue(spec) is False
+        assert broker.counts() == {"tasks": 1, "leases": 0, "failed": 0, "corrupt": 0}
+
+    def test_enqueue_skips_claimed_trials(self, make_broker):
+        broker = make_broker()
+        spec = _spec()
+        broker.enqueue(spec)
+        broker.lease_next("w1")
+        assert broker.enqueue(spec) is False
+        counts = broker.counts()
+        assert counts["tasks"] == 0 and counts["leases"] == 1
+
+    def test_enqueue_batch_counts_only_new_trials(self, make_broker):
+        broker = make_broker()
+        specs = [_spec(seed=seed) for seed in range(6)]
+        assert broker.enqueue_batch(specs) == 6
+        assert broker.enqueue_batch(specs) == 0  # all already pending
+        broker.lease_batch("w1", limit=2)
+        more = specs + [_spec(seed=6)]
+        # Pending and leased trials both skipped; only the new one lands.
+        assert broker.enqueue_batch(more) == 1
+        counts = broker.counts()
+        assert counts["tasks"] == 5 and counts["leases"] == 2
+
+    def test_enqueue_batch_deduplicates_within_the_batch(self, make_broker):
+        broker = make_broker()
+        spec = _spec()
+        assert broker.enqueue_batch([spec, spec, spec]) == 1
+        assert broker.counts()["tasks"] == 1
+
+    def test_enqueue_batch_matches_serial_enqueue_results(self, make_broker):
+        batched = make_broker()
+        specs = [_spec(seed=seed, dataset=ds) for seed in range(4)
+                 for ds in ("youtube", "imdb")]
+        assert batched.enqueue_batch(specs) == sum(1 for _ in specs)
+        serial_keys = {spec.key for spec in specs}
+        drained = {lease.key for lease in batched.lease_batch("w", limit=100)}
+        assert drained == serial_keys
+
+
+class TestLeaseContract:
+    def test_lease_round_trips_the_spec(self, make_broker):
+        broker = make_broker()
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("w1")
+        assert lease.key == spec.key
+        assert lease.spec == spec
+        assert pickle.dumps(lease.spec) == pickle.dumps(spec)
+        assert broker.lease_next("w2") is None  # exclusive
+
+    def test_racing_claims_have_exactly_one_winner(self, make_broker):
+        broker = make_broker()
+        broker.enqueue(_spec())
+        barrier = threading.Barrier(8)
+
+        def claim():
+            barrier.wait()
+            return broker.lease_next()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            wins = [lease for lease in pool.map(lambda _: claim(), range(8)) if lease]
+        assert len(wins) == 1
+
+    def test_concurrent_drain_is_exactly_once(self, backend, tmp_path):
+        specs = [_spec(seed=seed, dataset=ds) for seed in range(25)
+                 for ds in ("youtube", "imdb")]
+        submit = create_broker(backend, tmp_path / "queue")
+        submit.enqueue_batch(specs)
+        claimed: list[list[str]] = [[] for _ in range(4)]
+        barrier = threading.Barrier(4)
+
+        def drain(i):
+            # Per-thread broker instance, as real workers would have.
+            broker = create_broker(backend, tmp_path / "queue")
+            barrier.wait()
+            while True:
+                batch = broker.lease_batch(f"w{i}", limit=4)
+                if not batch:
+                    return
+                claimed[i] += [lease.key for lease in batch]
+
+        threads = [threading.Thread(target=drain, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        keys = sorted(key for per_worker in claimed for key in per_worker)
+        assert keys == sorted(spec.key for spec in specs)
+
+    def test_batch_respects_limit_and_prefers_one_shard(self, make_broker):
+        broker = make_broker()
+        specs = [_spec(seed=seed, dataset=ds) for seed in range(8)
+                 for ds in ("youtube", "imdb")]
+        broker.enqueue_batch(specs)
+        batch = broker.lease_batch("w1", limit=5)
+        assert len(batch) == 5
+        # Dataset affinity: a batch no larger than a shard stays within it
+        # (8 trials per dataset here), so the worker's warm corpus is reused.
+        datasets = {lease.spec.dataset for lease in batch}
+        assert len(datasets) == 1
+
+    def test_batch_tops_up_across_shards_when_needed(self, make_broker):
+        broker = make_broker()
+        specs = [_spec(seed=seed, dataset=ds) for seed in range(3)
+                 for ds in ("youtube", "imdb")]
+        broker.enqueue_batch(specs)
+        batch = broker.lease_batch("w1", limit=6)
+        assert len(batch) == 6  # 3 per shard: the batch crossed shards
+
+    def test_release_re_offers_for_any_claimant(self, make_broker):
+        broker = make_broker()
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("w1")
+        broker.release(lease)
+        counts = broker.counts()
+        assert counts["tasks"] == 1 and counts["leases"] == 0
+        again = broker.lease_next("w2")
+        assert again.key == spec.key
+
+    def test_complete_removes_the_trial(self, make_broker):
+        broker = make_broker()
+        broker.enqueue(_spec())
+        lease = broker.lease_next("w1")
+        broker.complete(lease)
+        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0, "corrupt": 0}
+        assert broker.lease_next("w2") is None
+
+
+class TestExpiryContract:
+    def test_expired_claims_are_re_offered(self, make_broker):
+        broker = make_broker()
+        broker.enqueue(_spec())
+        lease = broker.lease_next("w1")
+        assert broker.release_expired() == 0  # fresh heartbeat: kept
+        _backdate_lease(broker, lease)
+        assert broker.release_expired() == 1
+        counts = broker.counts()
+        assert counts["tasks"] == 1 and counts["leases"] == 0
+
+    def test_heartbeat_keeps_a_claim_alive(self, make_broker):
+        broker = make_broker(lease_ttl=0.4)
+        broker.enqueue(_spec())
+        lease = broker.lease_next("w1")
+        time.sleep(0.5)
+        broker.heartbeat(lease)
+        assert broker.release_expired() == 0
+
+    def test_expiry_sweep_respects_key_scope(self, make_broker):
+        broker = make_broker()
+        mine, theirs = _spec(seed=0), _spec(seed=1)
+        broker.enqueue_batch([mine, theirs])
+        leases = {lease.key: lease for lease in broker.lease_batch("w1", limit=2)}
+        for lease in leases.values():
+            _backdate_lease(broker, lease)
+        assert broker.release_expired(keys=[mine.key]) == 1
+        counts = broker.counts()
+        assert counts["tasks"] == 1 and counts["leases"] == 1
+
+    def test_expiry_sweep_respects_shard_scope(self, make_broker):
+        broker = make_broker()
+        youtube, imdb = _spec(dataset="youtube"), _spec(dataset="imdb")
+        broker.enqueue_batch([youtube, imdb])
+        leases = broker.lease_batch("w1", limit=2)
+        for lease in leases:
+            _backdate_lease(broker, lease)
+        assert broker.release_expired(shards=["youtube"]) == 1
+        # The imdb claim was out of scope: still leased, still expired.
+        assert broker.counts()["leases"] == 1
+        assert broker.release_expired() == 1
+
+    def test_revoked_claim_cannot_complete_or_release(self, make_broker):
+        broker = make_broker()
+        spec = _spec()
+        broker.enqueue(spec)
+        stale = broker.lease_next("w1")
+        _backdate_lease(broker, stale)
+        broker.release_expired()
+        fresh = broker.lease_next("w2")
+        assert fresh.key == spec.key
+        # The revoked holder's complete/release must not touch w2's claim.
+        broker.complete(stale)
+        broker.release(stale)
+        counts = broker.counts()
+        assert counts["leases"] == 1 and counts["tasks"] == 0
+        broker.complete(fresh)
+        assert broker.counts()["leases"] == 0
+
+
+class TestFailureContract:
+    def test_fail_records_a_log_the_submitter_raises(self, make_broker, tmp_path):
+        broker = make_broker()
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("w1")
+        broker.fail(lease, "w1", RuntimeError("boom"), "traceback-text")
+        failure = broker.failure_for(spec.key)
+        assert failure["worker"] == "w1"
+        assert "boom" in failure["error"]
+        assert failure["traceback"] == "traceback-text"
+        assert broker.counts()["failed"] == 1
+        with pytest.raises(RemoteTrialError, match="boom"):
+            broker.wait([spec], ResultCache(tmp_path / "cache"), timeout=5)
+
+    def test_revoked_claim_records_no_failure(self, make_broker):
+        broker = make_broker()
+        spec = _spec()
+        broker.enqueue(spec)
+        stale = broker.lease_next("w1")
+        _backdate_lease(broker, stale)
+        broker.release_expired()
+        broker.lease_next("w2")
+        broker.fail(stale, "w1", RuntimeError("stale holder"), "tb")
+        assert broker.failure_for(spec.key) is None
+        assert broker.counts()["failed"] == 0
+
+    def test_enqueue_clears_failure_log_only_when_it_writes(self, make_broker):
+        broker = make_broker()
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("w1")
+        # A second submitter re-enqueues while the trial is leased and then
+        # failing: the no-op enqueue must not wipe the evidence.
+        assert broker.enqueue(spec) is False
+        broker.fail(lease, "w1", RuntimeError("boom"), "tb")
+        assert broker.enqueue_batch([]) == 0
+        assert broker.failure_for(spec.key) is not None
+        # Once nothing is pending/leased, enqueue IS the retry path.
+        assert broker.enqueue(spec) is True
+        assert broker.failure_for(spec.key) is None
+
+
+class TestWaitContract:
+    def test_wait_returns_histories_written_by_workers(self, make_broker, tmp_path):
+        broker = make_broker()
+        cache = ResultCache(tmp_path / "cache")
+        specs = [_spec(seed=seed) for seed in range(3)]
+        broker.enqueue_batch(specs)
+
+        def worker():
+            mine = create_broker(
+                "sqlite" if isinstance(broker, SqliteBroker) else "spool",
+                broker.location if isinstance(broker, SqliteBroker) else broker.root,
+            )
+            while True:
+                lease = mine.lease_next("bg")
+                if lease is None:
+                    return
+                cache.put(lease.key, _history(lease.spec))
+                mine.complete(lease)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        histories = broker.wait(specs, cache, timeout=30)
+        thread.join(timeout=10)
+        assert set(histories) == {spec.key for spec in specs}
+        assert histories[specs[1].key].seed == 1
+
+    def test_wait_times_out_without_live_workers(self, make_broker, tmp_path):
+        broker = make_broker()
+        spec = _spec()
+        broker.enqueue(spec)
+        with pytest.raises(SpoolTimeout, match="workers running"):
+            broker.wait([spec], ResultCache(tmp_path / "cache"), timeout=0.3)
+
+    def test_wait_re_offers_expired_claims_of_its_trials(self, make_broker, tmp_path):
+        broker = make_broker()
+        spec = _spec()
+        broker.enqueue(spec)
+        lease = broker.lease_next("crashed-worker")
+        _backdate_lease(broker, lease)
+        released: list[int] = []
+        with pytest.raises(SpoolTimeout):
+            broker.wait(
+                [spec],
+                ResultCache(tmp_path / "cache"),
+                timeout=0.3,
+                on_released=released.append,
+            )
+        assert sum(released) == 1
+        assert broker.counts()["tasks"] == 1  # re-offered, not lost
+
+    def test_wait_self_heals_vanished_trials(self, make_broker, tmp_path):
+        broker = make_broker()
+        spec = _spec()
+        # Never enqueued at all — wait() must restore it from the spec it
+        # holds before giving up.
+        with pytest.raises(SpoolTimeout):
+            broker.wait([spec], ResultCache(tmp_path / "cache"), timeout=0.3)
+        assert broker.counts()["tasks"] == 1
+
+    def test_wait_serves_results_already_in_cache(self, make_broker, tmp_path):
+        broker = make_broker()
+        cache = ResultCache(tmp_path / "cache")
+        spec = _spec()
+        cache.put(spec.key, _history(spec))
+        histories = broker.wait([spec], cache, timeout=5)
+        assert histories[spec.key].seed == spec.seed
+
+
+class TestIntrospectionContract:
+    def test_counts_shape_is_stable(self, make_broker):
+        broker = make_broker()
+        assert broker.counts() == {"tasks": 0, "leases": 0, "failed": 0, "corrupt": 0}
+
+    def test_backlog_reports_depth_and_shards(self, make_broker):
+        broker = make_broker()
+        assert broker.backlog()["tasks"] == 0
+        specs = [_spec(seed=seed, dataset=ds) for seed in range(3)
+                 for ds in ("youtube", "imdb")]
+        broker.enqueue_batch(specs)
+        backlog = broker.backlog()
+        assert backlog["tasks"] == 6
+        assert backlog["shards"] == 2
+        assert backlog["leases"] == 0
+        broker.lease_batch("w1", limit=3)
+        backlog = broker.backlog()
+        assert backlog["tasks"] == 3 and backlog["leases"] == 3
+
+    def test_stats_count_claims_and_batches(self, make_broker):
+        broker = make_broker()
+        broker.enqueue_batch([_spec(seed=seed) for seed in range(4)])
+        broker.lease_batch("w1", limit=4)
+        assert broker.stats.claims == 4
+        assert broker.stats.batches == 1
