@@ -10,26 +10,48 @@ The file is read-modify-written atomically (temp file + ``os.replace``) and
 unknown keys are preserved, so benchmarks can update their own entry without
 clobbering each other's.  ``REPRO_BENCH_RECORD_FILE`` redirects the output
 (CI points it at a workspace artefact; tests point it at ``tmp_path``).
+
+``BENCH_core.json`` is last-run-wins per benchmark; the *trajectory* across
+runs lives in the run-history database (``BENCH_history.sqlite3``, an
+append-only :meth:`~repro.runner.results.RunHistoryDB.record_benchmark`
+table).  :func:`record` feeds both, so every benchmark's headline numbers
+become a timestamped row queryable via ``python -m repro.runner.query
+--db BENCH_history.sqlite3 --benchmarks`` and comparable against the
+committed JSON with ``--trajectory-diff``.  ``REPRO_BENCH_DB`` redirects
+the trajectory database the same way the record file is redirected.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 from pathlib import Path
 
 #: Environment variable redirecting the record file away from the repo root.
 BENCH_RECORD_ENV_VAR = "REPRO_BENCH_RECORD_FILE"
 
+#: Environment variable redirecting the benchmark-trajectory database.
+BENCH_DB_ENV_VAR = "REPRO_BENCH_DB"
+
 #: Default location: ``BENCH_core.json`` next to the repository's ``conftest.py``.
 DEFAULT_BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: Default trajectory database, next to the record file (gitignored).
+DEFAULT_BENCH_DB = DEFAULT_BENCH_FILE.with_name("BENCH_history.sqlite3")
 
 
 def bench_file() -> Path:
     """The record file currently in effect (env override or the default)."""
     override = os.environ.get(BENCH_RECORD_ENV_VAR, "").strip()
     return Path(override) if override else DEFAULT_BENCH_FILE
+
+
+def bench_db() -> Path:
+    """The trajectory database currently in effect (env override or default)."""
+    override = os.environ.get(BENCH_DB_ENV_VAR, "").strip()
+    return Path(override) if override else DEFAULT_BENCH_DB
 
 
 def _jsonable(value):
@@ -53,6 +75,7 @@ def record(benchmark: str, values: dict, path: Path | None = None) -> Path:
     can never wedge the whole benchmark suite.
     """
     target = Path(path) if path is not None else bench_file()
+    record_trial_index(benchmark, values)
     existing: dict = {}
     try:
         loaded = json.loads(target.read_text())
@@ -74,4 +97,35 @@ def record(benchmark: str, values: dict, path: Path | None = None) -> Path:
     except BaseException:
         os.unlink(handle.name)
         raise
+    return target
+
+
+def record_trial_index(
+    benchmark: str, values: dict, db_path: Path | None = None
+) -> Path | None:
+    """Append *values* as a timestamped trajectory row for *benchmark*.
+
+    Unlike :func:`record`'s JSON file this is append-only — every call adds
+    a ``benchmark_runs`` row to the run-history database, so consecutive
+    runs build a queryable performance trajectory instead of overwriting
+    each other.  Returns the database path, or ``None`` if the write
+    failed: the trajectory is best-effort observability and must never
+    fail a benchmark that just spent minutes producing its numbers.
+    """
+    from repro.runner.results import RunHistoryDB
+
+    target = Path(db_path) if db_path is not None else bench_db()
+    try:
+        db = RunHistoryDB(target)
+        try:
+            db.record_benchmark(str(benchmark), _jsonable(values))
+        finally:
+            db.close()
+    except Exception as error:  # pragma: no cover - depends on disk state
+        print(
+            f"[bench] warning: could not record trajectory row for "
+            f"{benchmark!r} in {target}: {error}",
+            file=sys.stderr,
+        )
+        return None
     return target

@@ -21,8 +21,13 @@ shared spool/cache directory, e.g. an NFS mount):
 Usage::
 
     python examples/distributed_grid.py [--dataset youtube] [--iterations 10] \
-        [--num-workers 2] [--seeds 2] [--broker spool] [--supervise] \
-        [--shard-by dataset] [--claim-batch 8] [--keep-dirs]
+        [--num-workers 2] [--seeds 2] [--broker spool] [--results pickle] \
+        [--supervise] [--shard-by dataset] [--claim-batch 8] [--keep-dirs]
+
+With ``--results indexed`` the workers additionally materialise every
+published result into the cache's ``results.sqlite3`` run-history index,
+and the example finishes by smoking the ``python -m repro.runner.query``
+CLI (``--reindex`` + a leaderboard) against it.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from repro.experiments import EvaluationProtocol
 from repro.runner import (
     BROKER_BACKENDS,
     DEFAULT_CLAIM_BATCH,
+    RESULT_STORE_BACKENDS,
     SHARD_POLICIES,
     ExecutionConfig,
     GridJob,
@@ -59,7 +65,8 @@ def _subprocess_env() -> dict:
 
 
 def spawn_worker(
-    spool: str, cache_dir: str, index: int, claim_batch: int, broker: str
+    spool: str, cache_dir: str, index: int, claim_batch: int, broker: str,
+    results: str,
 ) -> subprocess.Popen:
     """Start one worker daemon as a fully independent subprocess."""
     return subprocess.Popen(
@@ -73,6 +80,8 @@ def spawn_worker(
             cache_dir,
             "--broker",
             broker,
+            "--results",
+            results,
             "--idle-timeout",
             "5",
             "--claim-batch",
@@ -85,7 +94,8 @@ def spawn_worker(
 
 
 def spawn_supervisor(
-    spool: str, cache_dir: str, max_workers: int, claim_batch: int, broker: str
+    spool: str, cache_dir: str, max_workers: int, claim_batch: int, broker: str,
+    results: str,
 ) -> subprocess.Popen:
     """Start the elastic fleet supervisor (it spawns the workers itself)."""
     return subprocess.Popen(
@@ -99,6 +109,8 @@ def spawn_supervisor(
             cache_dir,
             "--broker",
             broker,
+            "--results",
+            results,
             "--max-workers",
             str(max_workers),
             "--tasks-per-worker",
@@ -114,6 +126,29 @@ def spawn_supervisor(
     )
 
 
+def smoke_query_cli(cache_dir: str) -> None:
+    """Exercise the run-history query CLI against the populated cache.
+
+    Rebuilds the index from the blobs (``--reindex`` must converge to what
+    the workers wrote incrementally) and runs a framework leaderboard — the
+    two subcommands a fresh adopter of an existing cache would reach for.
+    """
+    for label, command in (
+        ("reindex", ["--cache-dir", cache_dir, "--reindex", "--counts"]),
+        ("leaderboard", ["--cache-dir", cache_dir, "--leaderboard",
+                         "--metric", "average_accuracy"]),
+    ):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.runner.query", *command],
+            env=_subprocess_env(), capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, (label, result.stderr)
+        assert result.stdout.strip(), (label, "query printed nothing")
+        print(f"  query CLI ({label}):")
+        for line in result.stdout.strip().splitlines():
+            print(f"    {line}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dataset", default="youtube", choices=sorted(DATASET_PROFILES))
@@ -125,6 +160,10 @@ def main() -> None:
                              "--supervise: the supervisor's --max-workers)")
     parser.add_argument("--broker", default="spool", choices=BROKER_BACKENDS,
                         help="broker backend coordinating submitter and workers")
+    parser.add_argument("--results", default="pickle",
+                        choices=RESULT_STORE_BACKENDS,
+                        help="result-store backend (indexed additionally "
+                             "builds the results.sqlite3 run-history index)")
     parser.add_argument("--supervise", action="store_true",
                         help="replace the hand-spawned workers with one "
                              "elastic supervisor process")
@@ -160,14 +199,17 @@ def main() -> None:
         print(f"Spawning a supervisor (max {args.num_workers} workers) against "
               f"{spool} [broker={args.broker}] ...")
         supervisor = spawn_supervisor(
-            spool, cache_dir, args.num_workers, args.claim_batch, args.broker
+            spool, cache_dir, args.num_workers, args.claim_batch, args.broker,
+            args.results,
         )
     else:
         print(f"Spawning {args.num_workers} worker daemon(s) against {spool} "
               f"[broker={args.broker}, shard_by={args.shard_by}, "
               f"claim_batch={args.claim_batch}] ...")
         workers = [
-            spawn_worker(spool, cache_dir, i, args.claim_batch, args.broker)
+            spawn_worker(
+                spool, cache_dir, i, args.claim_batch, args.broker, args.results
+            )
             for i in range(args.num_workers)
         ]
     try:
@@ -180,6 +222,7 @@ def main() -> None:
                 broker=args.broker,
                 spool_dir=spool,
                 cache_dir=cache_dir,
+                results=args.results,
                 wait_timeout=600,
                 shard_by=args.shard_by,
                 claim_batch=args.claim_batch,
@@ -206,6 +249,9 @@ def main() -> None:
         assert all(pickle.dumps(a) == pickle.dumps(b) for a, b in pairs), key
         print(f"  {key:12s} avg_acc={serial[key].average_accuracy:.4f}  "
               "(distributed == serial, byte-identical)")
+
+    if args.results == "indexed":
+        smoke_query_cli(cache_dir)
 
     if args.keep_dirs:
         print(f"Spool/cache kept under {work_dir}")

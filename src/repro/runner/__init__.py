@@ -3,7 +3,14 @@
 One orchestration path for every experiment grid in the reproduction:
 
 * :mod:`repro.runner.spec` — frozen, content-hashed trial descriptions;
-* :mod:`repro.runner.cache` — content-addressed on-disk result cache;
+* :mod:`repro.runner.results` — pluggable result persistence behind the
+  abstract :class:`ResultStore` protocol: the content-addressed
+  pickle-shard blob store (also importable as :mod:`repro.runner.cache`,
+  its pre-package name) and the SQLite-indexed store whose
+  ``results.sqlite3`` run-history database is queryable via
+  :class:`RunHistoryDB` and ``python -m repro.runner.query`` (the query
+  CLI is imported lazily — not re-exported here — for the same ``-m``
+  double-import reason as the worker);
 * :mod:`repro.runner.executor` — the per-trial loop and process-pool
   scheduling with a serial fallback;
 * :mod:`repro.runner.brokers` — the pluggable work-queue protocol for
@@ -31,7 +38,15 @@ protocol, and ``docs/adding_experiments.md`` for how to add a grid.
 """
 
 from repro.runner.spec import CACHE_FORMAT_VERSION, TrialSpec
-from repro.runner.cache import ResultCache
+from repro.runner.results import (
+    RESULT_STORE_BACKENDS,
+    TRIAL_METRICS,
+    IndexedResultStore,
+    ResultCache,
+    ResultStore,
+    RunHistoryDB,
+    create_result_store,
+)
 from repro.runner.brokers import (
     BROKER_BACKENDS,
     DEFAULT_CLAIM_BATCH,
@@ -67,9 +82,15 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "DEFAULT_CLAIM_BATCH",
     "DEFAULT_LEASE_TTL",
+    "RESULT_STORE_BACKENDS",
     "SHARD_POLICIES",
+    "TRIAL_METRICS",
     "TrialSpec",
+    "IndexedResultStore",
     "ResultCache",
+    "ResultStore",
+    "RunHistoryDB",
+    "create_result_store",
     "Broker",
     "BrokerTimeout",
     "LeasedTrial",

@@ -8,8 +8,10 @@ on.  The engine gives them one orchestration path:
    cell, e.g. "ActiveDP on youtube");
 2. :func:`expand_jobs` derives the per-seed :class:`TrialSpec` list with
    deterministic :func:`~repro.utils.rng.spawn_seeds` seeding;
-3. :func:`run_specs` serves cached trials from the content-addressed
-   :class:`~repro.runner.cache.ResultCache` and schedules the rest through
+3. :func:`run_specs` serves cached trials from the configured
+   :class:`~repro.runner.results.base.ResultStore` backend (the
+   content-addressed pickle-shard cache, or the SQLite-indexed store —
+   ``ExecutionConfig.results``) and schedules the rest through
    :func:`~repro.runner.executor.execute_trials` (process-pool parallel
    across the *whole* grid, not per cell) — or, with
    ``ExecutionConfig(mode="distributed", ...)``, enqueues them on the
@@ -41,8 +43,12 @@ from repro.runner.brokers import (
     Broker,
     create_broker,
 )
-from repro.runner.cache import ResultCache
 from repro.runner.executor import execute_trials
+from repro.runner.results import (
+    RESULT_STORE_BACKENDS,
+    ResultStore,
+    create_result_store,
+)
 from repro.runner.spec import TrialSpec
 from repro.utils.rng import spawn_seeds
 
@@ -90,6 +96,11 @@ class ExecutionConfig:
         Root of the content-addressed result cache; ``None`` disables
         caching entirely.  Distributed execution *requires* a cache: it is
         the channel results travel back through.
+    results:
+        Result-store backend over ``cache_dir``: ``"pickle"`` (default,
+        the plain blob store) or ``"indexed"`` (blobs plus the queryable
+        ``results.sqlite3`` run-history index — blob bytes are identical
+        either way).  Match the workers' ``--results``.
     use_cache:
         Master switch; ``False`` ignores ``cache_dir`` (the ``--no-cache``
         knob).
@@ -130,6 +141,7 @@ class ExecutionConfig:
 
     workers: int = 1
     cache_dir: str | Path | None = None
+    results: str = "pickle"
     use_cache: bool = True
     mode: str = "local"
     broker: str = "spool"
@@ -152,6 +164,11 @@ class ExecutionConfig:
         # `config.broker == "sqlite"` and repr stay plain), but calling it
         # builds the backend — the pre-package `config.broker()` contract.
         object.__setattr__(self, "broker", _BrokerChoice(str(self.broker), self))
+        if self.results not in RESULT_STORE_BACKENDS:
+            raise ValueError(
+                f"results must be one of {RESULT_STORE_BACKENDS}, "
+                f"got {self.results!r}"
+            )
         if self.shard_by not in SHARD_POLICIES:
             raise ValueError(
                 f"shard_by must be one of {SHARD_POLICIES}, got {self.shard_by!r}"
@@ -182,8 +199,9 @@ class ExecutionConfig:
         ``"parallel"`` (all cores) or ``"distributed"`` (spool/cache
         directories from the ``REPRO_SPOOL_DIR`` / ``REPRO_CACHE_DIR``
         environment variables, the broker backend from ``REPRO_BROKER``,
-        spool sharding and worker batch size from ``REPRO_SPOOL_SHARD_BY``
-        / ``REPRO_CLAIM_BATCH``).
+        the result-store backend from ``REPRO_RESULTS``, spool sharding
+        and worker batch size from ``REPRO_SPOOL_SHARD_BY`` /
+        ``REPRO_CLAIM_BATCH``).
         """
         if value is None:
             return cls()
@@ -200,6 +218,7 @@ class ExecutionConfig:
                     broker=os.environ.get("REPRO_BROKER", "spool"),
                     spool_dir=os.environ.get("REPRO_SPOOL_DIR"),
                     cache_dir=os.environ.get("REPRO_CACHE_DIR"),
+                    results=os.environ.get("REPRO_RESULTS", "pickle"),
                     shard_by=os.environ.get("REPRO_SPOOL_SHARD_BY", "dataset"),
                     claim_batch=int(
                         os.environ.get("REPRO_CLAIM_BATCH", DEFAULT_CLAIM_BATCH)
@@ -214,11 +233,16 @@ class ExecutionConfig:
             f"got {type(value).__name__}"
         )
 
-    def cache(self) -> ResultCache | None:
-        """The configured cache, or ``None`` when caching is off."""
+    def cache(self) -> ResultStore | None:
+        """The configured result store, or ``None`` when caching is off.
+
+        The backend is the :attr:`results` choice: the plain pickle-shard
+        blob store, or the indexed store maintaining ``results.sqlite3``
+        alongside the same blobs.
+        """
         if self.cache_dir is None or not self.use_cache:
             return None
-        return ResultCache(self.cache_dir)
+        return create_result_store(str(self.results), self.cache_dir)
 
     def create_broker(self) -> Broker:
         """Build the configured broker backend for ``mode="distributed"``.

@@ -1,0 +1,177 @@
+"""Content-addressed pickle-shard blob store: the reference result backend.
+
+Layout: ``<root>/<first two hex chars>/<full key>.pkl``, one pickled
+:class:`~repro.core.results.RunHistory` per trial, keyed by
+:attr:`TrialSpec.key <repro.runner.spec.TrialSpec.key>`.  Because the key
+covers every input that determines the trial outcome, re-running a grid only
+executes trials whose spec changed; everything else is served from disk.
+
+Writes are atomic (tempfile + ``os.replace``) so concurrent grid runs and
+interrupted processes never leave half-written entries, and unreadable
+entries are treated as misses rather than errors.
+
+This module is also importable as ``repro.runner.cache``, its pre-package
+name (the alias module replaces itself in ``sys.modules``, so module-level
+monkeypatching keeps working).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.results import RunHistory
+from repro.runner.results.base import ResultStore
+from repro.runner.spec import TrialSpec
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write *data* to *path* so readers see the old bytes or the new, never a mix.
+
+    Tempfile in the destination directory (``os.replace`` across
+    filesystems is copy+delete, not atomic) then rename over the target;
+    the temp file is removed on any failure.  Shared by the cache and the
+    spool broker so durability fixes land in one place.
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache(ResultStore):
+    """Pickle-per-trial cache rooted at *root* (created lazily on first put)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path_for(self, spec: TrialSpec | str) -> Path:
+        """Cache file path for a spec (or a raw content key)."""
+        return self.root / self.key_of(spec)[:2] / f"{self.key_of(spec)}.pkl"
+
+    def get(self, spec: TrialSpec | str) -> RunHistory | None:
+        """Return the cached history, or ``None`` on a miss or unreadable entry.
+
+        An unreadable or wrong-typed entry is quarantined (renamed to
+        ``<entry>.pkl.corrupt``) before reporting the miss, so the caller's
+        recompute can actually land: with multiple writers sharing a cache
+        directory, leaving the corrupt file in place would turn every
+        subsequent ``__contains__`` probe into a false positive while
+        ``get`` keeps failing.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path, "rb") as handle:
+                history = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Unpickling garbage raises a zoo of exception types
+            # (UnpicklingError, ValueError, EOFError, AttributeError, ...);
+            # any unreadable entry is a miss and is moved aside for
+            # post-mortems instead of being silently overwritten.
+            self._quarantine(path)
+            return None
+        if not isinstance(history, RunHistory):
+            self._quarantine(path)
+            return None
+        return history
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        # os.replace keeps this race-safe against a concurrent put(): the
+        # writer's rename and ours target different names, so whichever
+        # lands last, the .pkl slot ends up either absent or freshly valid.
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+
+    def put(
+        self,
+        spec: TrialSpec | str,
+        history: RunHistory,
+        wall_seconds: float | None = None,
+    ) -> Path:
+        """Atomically store *history* under the spec's content key.
+
+        *wall_seconds* is accepted for protocol compatibility and ignored:
+        this backend stores blobs only.
+        """
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(path, pickle.dumps(history, protocol=pickle.HIGHEST_PROTOCOL))
+        return path
+
+    def keys_present(self, specs: Iterable[TrialSpec | str]) -> set[str]:
+        """Which of *specs* (specs or raw keys) have entries on disk.
+
+        One directory listing per distinct key-prefix shard instead of one
+        ``stat`` per key: this is what lets a polling submitter
+        (:meth:`Broker.wait <repro.runner.brokers.base.Broker.wait>`)
+        watch thousands of pending trials without stat-storming a shared
+        fileserver on every backoff round.  Entries appearing concurrently
+        with the listing may be missed; the caller's next round sees them.
+        """
+        wanted = {self.key_of(spec) for spec in specs}
+        if len(wanted) <= 32:
+            # For a handful of keys, a stat each beats listing whole
+            # prefix directories: a long-lived shared cache can hold
+            # hundreds of entries per prefix, and the snapshot only pays
+            # off when the pending set is large.
+            return {key for key in wanted if self.path_for(key).exists()}
+        present: set[str] = set()
+        for prefix in {key[:2] for key in wanted}:
+            try:
+                names = os.listdir(self.root / prefix)
+            except OSError:
+                continue  # shard not created yet: nothing cached there
+            for name in names:
+                if name.endswith(".pkl") and name[:-4] in wanted:
+                    present.add(name[:-4])
+        return present
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def n_quarantined(self) -> int:
+        """Quarantined (``*.pkl.corrupt``) blobs currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl.corrupt"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of entries removed.
+
+        Quarantined ``*.pkl.corrupt`` blobs are removed too (they exist for
+        post-mortems, and a clear *is* the post-mortem boundary — leaving
+        them would let a long-lived shared cache accumulate dead blobs
+        forever), but they do not count toward the return value.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self.root.glob("*/*.pkl.corrupt"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return removed

@@ -16,8 +16,10 @@ stay warm), heartbeat every held lease from a background thread, and execute
 the batch with the engine's canonical
 :func:`~repro.runner.executor.run_trial` loop.
 Each result is written through the shared
-:class:`~repro.runner.cache.ResultCache` *while its lease is still
-heartbeating* — a slow publish (NFS, large history) must not let the lease
+:class:`~repro.runner.results.base.ResultStore` (``--results`` picks the
+backend: the plain pickle-shard cache, or the indexed store that also
+maintains the ``results.sqlite3`` run-history index) *while its lease is
+still heartbeating* — a slow publish (NFS, large history) must not let the lease
 expire and the completed trial get re-executed elsewhere — and only then is
 the lease dropped.  A trial that raises is recorded as a failure log for the
 submitter to surface; the worker itself keeps serving other trials.  On
@@ -48,8 +50,8 @@ from repro.runner.brokers import (
     Broker,
     create_broker,
 )
-from repro.runner.cache import ResultCache
 from repro.runner.executor import run_trial
+from repro.runner.results import RESULT_STORE_BACKENDS, create_result_store
 
 
 def default_worker_id() -> str:
@@ -109,6 +111,7 @@ def run_worker(
     worker_id: str | None = None,
     quiet: bool = False,
     broker: str = "spool",
+    results: str = "pickle",
 ) -> int:
     """Serve trials from the shared queue until done; returns the number executed.
 
@@ -146,11 +149,18 @@ def run_worker(
     broker:
         Broker backend name (``"spool"`` or ``"sqlite"``); must match the
         submitter's ``ExecutionConfig.broker``.
+    results:
+        Result-store backend name (``"pickle"`` or ``"indexed"``); with
+        ``"indexed"`` each published trial also lands in the shared
+        ``results.sqlite3`` run-history index, spec fields and all.  Blob
+        bytes are identical either way, so workers with mismatched
+        ``--results`` still agree on every result — only index coverage
+        differs.
     """
     if claim_batch < 1:
         raise ValueError("claim_batch must be at least 1")
     broker = create_broker(broker, spool, lease_ttl=lease_ttl)
-    cache = ResultCache(cache_dir)
+    cache = create_result_store(results, cache_dir)
     identity = worker_id or default_worker_id()
     heartbeat_interval = max(lease_ttl / 4.0, 0.05)
 
@@ -199,7 +209,13 @@ def run_worker(
                     # The lease is still heartbeating here: a publish slower
                     # than the TTL (NFS stall, large history) must not look
                     # like a dead worker and get the finished trial re-run.
-                    cache.put(lease.key, history)
+                    # Publishing the spec (not just the key) lets an indexed
+                    # store materialise the spec-enrichment columns.
+                    cache.put(
+                        lease.spec,
+                        history,
+                        wall_seconds=time.perf_counter() - started,
+                    )
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except Exception as error:
@@ -270,6 +286,14 @@ def main(argv: list[str] | None = None) -> int:
         "default spool); must match the submitter's",
     )
     parser.add_argument(
+        "--results",
+        choices=RESULT_STORE_BACKENDS,
+        default=os.environ.get("REPRO_RESULTS", "pickle"),
+        help="result-store backend results are published through (env "
+        "REPRO_RESULTS; default pickle; indexed additionally maintains "
+        "the shared results.sqlite3 run-history index)",
+    )
+    parser.add_argument(
         "--max-trials",
         type=int,
         default=None,
@@ -319,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
             worker_id=args.worker_id,
             quiet=args.quiet,
             broker=args.broker,
+            results=args.results,
         )
     except KeyboardInterrupt:
         return 130

@@ -39,7 +39,12 @@ def test_python_snippets_execute(doc_path, snippets_of, tmp_path, monkeypatch):
 def test_docs_exist_and_have_runnable_examples(doc_files, snippets_of):
     """The three guides exist, and the doc set as a whole stays executable."""
     names = {path.name for path in doc_files}
-    assert {"architecture.md", "warm_starts.md", "adding_experiments.md"} <= names
+    assert {
+        "architecture.md",
+        "warm_starts.md",
+        "adding_experiments.md",
+        "run_history.md",
+    } <= names
     runnable = [
         snippet
         for path in doc_files

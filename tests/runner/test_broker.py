@@ -631,9 +631,9 @@ class TestWorkerLoop:
 
         real_put = ResultCache.put
 
-        def slow_put(self, key, value):
+        def slow_put(self, key, value, wall_seconds=None):
             time.sleep(2.5)  # well past the 1.0s TTL
-            return real_put(self, key, value)
+            return real_put(self, key, value, wall_seconds=wall_seconds)
 
         monkeypatch.setattr(ResultCache, "put", slow_put)
         released = []

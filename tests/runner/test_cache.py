@@ -120,6 +120,31 @@ class TestRoundTrip:
         assert cache.clear() == 2
         assert len(cache) == 0
 
+    def test_clear_also_removes_quarantined_files(self, tmp_path):
+        """The quarantine-leak fix: ``clear()`` used to unlink only ``*.pkl``
+        entries, so ``.pkl.corrupt`` files survived a clear and silently
+        accumulated forever."""
+        cache = ResultCache(tmp_path)
+        cache.put(_spec(1), _history(1))
+        path = cache.put(_spec(2), _history(2))
+        path.write_bytes(b"garbage")
+        assert cache.get(_spec(2)) is None  # quarantines spec 2's entry
+        assert cache.clear() == 1  # live entries only in the count
+        assert len(cache) == 0
+        assert cache.n_quarantined() == 0
+        assert list(tmp_path.rglob("*.corrupt")) == []
+
+    def test_n_quarantined_counts_corrupt_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.n_quarantined() == 0
+        for seed in (1, 2, 3):
+            cache.put(_spec(seed), _history(seed))
+        for seed in (1, 2):
+            cache.path_for(_spec(seed)).write_bytes(b"garbage")
+            assert cache.get(_spec(seed)) is None
+        assert cache.n_quarantined() == 2
+        assert len(cache) == 1  # quarantined entries are not live entries
+
 
 class TestDeterminism:
     def test_same_spec_produces_byte_identical_history(self, tmp_path):

@@ -19,6 +19,8 @@ ENTRY_MODULES = [
     "repro.runner",
     "repro.runner.spec",
     "repro.runner.cache",
+    "repro.runner.results",
+    "repro.runner.query",
     "repro.runner.executor",
     "repro.runner.engine",
     "repro.experiments",
