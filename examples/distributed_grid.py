@@ -33,7 +33,6 @@ CLI (``--reindex`` + a leaderboard) against it.
 from __future__ import annotations
 
 import argparse
-import os
 import pickle
 import shutil
 import signal
@@ -41,7 +40,6 @@ import subprocess
 import sys
 import tempfile
 
-import repro
 from repro.datasets import DATASET_PROFILES
 from repro.experiments import EvaluationProtocol
 from repro.runner import (
@@ -54,14 +52,12 @@ from repro.runner import (
     last_report,
     run_experiment_grid,
 )
-
-
-def _subprocess_env() -> dict:
-    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    env = dict(os.environ)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
-    return env
+from repro.runner.fleet import (
+    fleet_paths,
+    subprocess_env,
+    supervisor_command,
+    worker_command,
+)
 
 
 def spawn_worker(
@@ -70,26 +66,16 @@ def spawn_worker(
 ) -> subprocess.Popen:
     """Start one worker daemon as a fully independent subprocess."""
     return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.runner.worker",
-            "--spool",
+        worker_command(
             spool,
-            "--cache-dir",
             cache_dir,
-            "--broker",
-            broker,
-            "--results",
-            results,
-            "--idle-timeout",
-            "5",
-            "--claim-batch",
-            str(claim_batch),
-            "--worker-id",
-            f"example-{index}",
-        ],
-        env=_subprocess_env(),
+            broker=broker,
+            results=results,
+            idle_timeout=5,
+            claim_batch=claim_batch,
+            worker_id=f"example-{index}",
+        ),
+        env=subprocess_env(),
     )
 
 
@@ -99,30 +85,18 @@ def spawn_supervisor(
 ) -> subprocess.Popen:
     """Start the elastic fleet supervisor (it spawns the workers itself)."""
     return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.runner.supervisor",
-            "--spool",
+        supervisor_command(
             spool,
-            "--cache-dir",
             cache_dir,
-            "--broker",
-            broker,
-            "--results",
-            results,
-            "--max-workers",
-            str(max_workers),
-            "--tasks-per-worker",
-            "1",
-            "--worker-idle-timeout",
-            "5",
-            "--claim-batch",
-            str(claim_batch),
-            "--interval",
-            "0.3",
-        ],
-        env=_subprocess_env(),
+            broker=broker,
+            results=results,
+            max_workers=max_workers,
+            tasks_per_worker=1,
+            worker_idle_timeout=5,
+            claim_batch=claim_batch,
+            interval=0.3,
+        ),
+        env=subprocess_env(),
     )
 
 
@@ -140,7 +114,7 @@ def smoke_query_cli(cache_dir: str) -> None:
     ):
         result = subprocess.run(
             [sys.executable, "-m", "repro.runner.query", *command],
-            env=_subprocess_env(), capture_output=True, text=True, timeout=120,
+            env=subprocess_env(), capture_output=True, text=True, timeout=120,
         )
         assert result.returncode == 0, (label, result.stderr)
         assert result.stdout.strip(), (label, "query printed nothing")
@@ -179,8 +153,7 @@ def main() -> None:
     args = parser.parse_args()
 
     work_dir = args.work_dir or tempfile.mkdtemp(prefix="repro-distributed-")
-    spool = os.path.join(work_dir, "spool")
-    cache_dir = os.path.join(work_dir, "cache")
+    spool, cache_dir = fleet_paths(work_dir)
 
     protocol = EvaluationProtocol(
         n_iterations=args.iterations,

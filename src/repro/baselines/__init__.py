@@ -7,6 +7,8 @@ and score the downstream model — so the experiment harness can run them
 interchangeably:
 
 * :class:`ActiveDPPipeline` — the paper's method (wraps ``repro.core``);
+* :class:`LFSetPipeline` — non-interactive replay of a fixed wire-schema LF
+  list through ActiveDP (the serving layer's batch pipeline);
 * :class:`NemoPipeline` — interactive data programming with SEU selection;
 * :class:`IWSPipeline` — interactive weak supervision (LF verification);
 * :class:`RevisingLFPipeline` — LF-output revision on queried instances;
@@ -15,6 +17,7 @@ interchangeably:
 
 from repro.baselines.base import InteractivePipeline
 from repro.baselines.activedp import ActiveDPPipeline
+from repro.baselines.lfset import LFSetPipeline
 from repro.baselines.nemo import NemoPipeline
 from repro.baselines.iws import IWSPipeline
 from repro.baselines.revising_lf import RevisingLFPipeline
@@ -23,6 +26,7 @@ from repro.baselines.uncertainty_pipeline import UncertaintySamplingPipeline
 __all__ = [
     "InteractivePipeline",
     "ActiveDPPipeline",
+    "LFSetPipeline",
     "NemoPipeline",
     "IWSPipeline",
     "RevisingLFPipeline",
@@ -33,6 +37,7 @@ __all__ = [
 
 _REGISTRY = {
     "activedp": ActiveDPPipeline,
+    "lfset": LFSetPipeline,
     "nemo": NemoPipeline,
     "iws": IWSPipeline,
     "revising_lf": RevisingLFPipeline,
@@ -43,7 +48,13 @@ _REGISTRY = {
 
 
 def pipeline_names() -> list[str]:
-    """Canonical names of the available frameworks."""
+    """Canonical names of the paper's benchmark frameworks.
+
+    ``lfset`` — the serving layer's replay pipeline — is reachable through
+    :func:`get_pipeline` but deliberately not enumerated here: it requires
+    an explicit LF list and is not a framework the evaluation protocol
+    benchmarks on its own.
+    """
     return ["activedp", "nemo", "iws", "revising_lf", "uncertainty"]
 
 

@@ -59,6 +59,16 @@ class InteractivePipeline(abc.ABC):
         for _ in range(n_iterations):
             self.step()
 
+    def export_artifacts(self) -> dict | None:
+        """Final outputs to persist on the trial's ``RunHistory.artifacts``.
+
+        Called once by the trial loop after the last iteration.  Pipelines
+        whose product is more than the metric curve (e.g. the aggregated
+        labels a serving request asked for) return a plain JSON-able dict
+        here; the default exports nothing.
+        """
+        return None
+
     def refit_counters(self) -> dict | None:
         """Current cumulative fit counters, or ``None`` for pipelines without them.
 

@@ -1,0 +1,175 @@
+"""Replay a fixed LF set through ActiveDP: the serving layer's batch pipeline.
+
+A label request to the serving layer names a dataset and a JSON list of
+label functions (:mod:`repro.labeling.wire`).  To execute that request on
+the existing worker fleet it must be an ordinary content-hashed trial, so
+this pipeline turns the LF list into one: iteration *i* adds the *i*-th LF
+to an :class:`~repro.core.framework.ActiveDP` instance and refits, exactly
+as an interactive user streaming the same LFs would.  There is no simulated
+user and no query sampling — the LF set *is* the user input, replayed.
+
+Because the wire dicts are plain JSON values they content-hash cleanly
+through ``pipeline_kwargs``, so two requests for the same dataset + LF set
+share one cache entry, and the fleet never executes the same request twice.
+
+After the last iteration :meth:`LFSetPipeline.export_artifacts` persists the
+request's actual product on the trial history: aggregated training labels,
+per-LF diagnostics and end-model test predictions, all as plain JSON-able
+Python (see :func:`export_labeling_artifacts`, which interactive serving
+sessions share so a streamed session and a batch replay of the same LFs
+report identical payloads).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.baselines.base import InteractivePipeline
+from repro.core.config import ActiveDPConfig
+from repro.core.framework import ActiveDP
+from repro.core.results import IterationRecord
+from repro.datasets.base import DataSplit
+from repro.labeling.analysis import LFAnalysis
+from repro.labeling.wire import lf_from_wire
+from repro.utils.rng import RandomState
+
+
+def export_labeling_artifacts(
+    framework: ActiveDP, data_split: DataSplit, end_model_C: float = 1.0
+) -> dict:
+    """Final serving payload of an ActiveDP run, as plain JSON-able Python.
+
+    One definition for both execution styles — the batch replay pipeline
+    below and the serving layer's interactive sessions — so streaming N LFs
+    and replaying the same N LFs produce byte-identical payloads:
+
+    * ``labels`` — ConFusion-aggregated training labels: hard values
+      (``-1`` for rejected instances), acceptance mask, coverage and the
+      confidence threshold in effect;
+    * ``lf_diagnostics`` — per-LF coverage / overlap / conflict / empirical
+      accuracy on the validation split (gold labels are legitimate there);
+    * ``end_model`` — downstream logistic-regression test-set predictions
+      and accuracy (``None`` while no labels exist to train on).
+    """
+    aggregated = framework.aggregate_labels()
+    labels = {
+        "values": [int(value) for value in aggregated.labels],
+        "accepted": [bool(flag) for flag in aggregated.accepted],
+        "coverage": float(aggregated.coverage),
+        "threshold": float(aggregated.threshold),
+    }
+    diagnostics = []
+    if framework.lfs:
+        analysis = LFAnalysis(
+            framework.state.valid_matrix.matrix,
+            [lf.name for lf in framework.lfs],
+        )
+        for summary in analysis.summary(data_split.valid.labels):
+            diagnostics.append(
+                {
+                    "name": summary.name,
+                    "polarity": [int(label) for label in summary.polarity],
+                    "coverage": float(summary.coverage),
+                    "overlap": float(summary.overlap),
+                    "conflict": float(summary.conflict),
+                    "accuracy": None
+                    if summary.accuracy is None
+                    else float(summary.accuracy),
+                    "n_correct": int(summary.n_correct),
+                    "n_labeled": int(summary.n_labeled),
+                }
+            )
+    end_model = None
+    model = framework.train_end_model(C=end_model_C)
+    if model is not None:
+        test = data_split.test
+        predictions = model.predict(test.features)
+        end_model = {
+            "test_predictions": [int(label) for label in predictions],
+            "test_accuracy": float(np.mean(predictions == test.labels)),
+        }
+    return {"labels": labels, "lf_diagnostics": diagnostics, "end_model": end_model}
+
+
+class LFSetPipeline(InteractivePipeline):
+    """Replay a wire-schema LF list through ActiveDP, one LF per iteration.
+
+    Parameters
+    ----------
+    data_split:
+        Benchmark dataset the LFs are applied to.
+    random_state:
+        Seed for the wrapped framework (replay itself is deterministic; the
+        seed keeps the trial contract uniform with the other pipelines).
+    lfs:
+        Non-empty list of JSON wire dicts (see :mod:`repro.labeling.wire`).
+        Iteration *i* adds ``lfs[i]``; iterations beyond the list length
+        refit only (so any ``n_iterations >= len(lfs)`` protocol is valid).
+    config_overrides:
+        Individual :class:`ActiveDPConfig` fields to replace on top of the
+        dataset-kind defaults, exactly as for ``ActiveDPPipeline``.
+    end_model_C:
+        Inverse regularisation of the exported end model (part of the
+        content hash via ``pipeline_kwargs``).
+    """
+
+    name = "lfset"
+
+    def __init__(
+        self,
+        data_split: DataSplit,
+        random_state: RandomState = None,
+        lfs: list[dict] | None = None,
+        config_overrides: dict | None = None,
+        end_model_C: float = 1.0,
+    ):
+        super().__init__(data_split, random_state)
+        if not lfs:
+            raise ValueError("lfs must be a non-empty list of wire-schema LF dicts")
+        self.lfs = [lf_from_wire(payload) for payload in lfs]
+        self.end_model_C = float(end_model_C)
+        self.config = ActiveDPConfig.for_dataset_kind(data_split.kind)
+        if config_overrides:
+            self.config = dataclasses.replace(self.config, **config_overrides)
+        seed = int(self.rng.integers(2**31 - 1))
+        self.framework = ActiveDP(
+            data_split.train, data_split.valid, self.config, random_state=seed
+        )
+
+    def step(self) -> IterationRecord:
+        """Add the next LF from the list (if any remain) and refit."""
+        lf = None
+        if self.iteration < len(self.lfs):
+            lf = self.lfs[self.iteration]
+            if lf not in self.framework.lfs:
+                self.framework.add_lf(lf)
+        self.framework.refit()
+        state = self.framework.state
+        record = IterationRecord(
+            iteration=self.iteration,
+            query_index=-1,
+            lf_name=lf.name if lf is not None else None,
+            n_lfs=len(state.lfs),
+            n_selected_lfs=len(state.selection.selected_indices),
+            threshold=state.threshold,
+            **state.fit_counters(),
+        )
+        self.iteration += 1
+        return record
+
+    def generate_labels(self) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregated training labels (indices, hard labels)."""
+        indices, labels, _ = self.framework.generate_labels()
+        return indices, labels
+
+    def refit_counters(self) -> dict:
+        """Cumulative fit counters (including evaluation-time flush refits)."""
+        return self.framework.state.fit_counters()
+
+    def export_artifacts(self) -> dict:
+        """The request's product: labels, per-LF diagnostics, predictions."""
+        return export_labeling_artifacts(
+            self.framework, self.data, end_model_C=self.end_model_C
+        )

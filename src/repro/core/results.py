@@ -87,12 +87,21 @@ class IterationRecord:
 
 @dataclass
 class RunHistory:
-    """Full history of an interactive run (one framework, one dataset, one seed)."""
+    """Full history of an interactive run (one framework, one dataset, one seed).
+
+    ``artifacts`` is an optional payload of final outputs a pipeline chose to
+    export beyond the per-iteration metric records — e.g. the aggregated
+    training labels, per-LF diagnostics and end-model predictions the serving
+    layer returns to label-request clients.  It must be plain JSON-able
+    Python (dicts/lists/numbers/strings), so a stored history serialises
+    identically everywhere; ``None`` means the pipeline exported nothing.
+    """
 
     framework: str
     dataset: str
     seed: int
     records: list[IterationRecord] = field(default_factory=list)
+    artifacts: dict | None = None
 
     def add(self, record: IterationRecord) -> None:
         """Append one iteration record."""

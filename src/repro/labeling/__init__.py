@@ -17,8 +17,18 @@ from repro.labeling.lf import (
 from repro.labeling.label_matrix import apply_lfs, label_matrix_from_outputs
 from repro.labeling.incremental import IncrementalLabelMatrix
 from repro.labeling.analysis import LFAnalysis, LFSummary
+from repro.labeling.wire import (
+    WireFormatError,
+    canonical_wire_lfs,
+    lf_from_wire,
+    lf_to_wire,
+)
 
 __all__ = [
+    "WireFormatError",
+    "canonical_wire_lfs",
+    "lf_from_wire",
+    "lf_to_wire",
     "IncrementalLabelMatrix",
     "ABSTAIN",
     "LabelFunction",

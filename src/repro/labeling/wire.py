@@ -1,0 +1,99 @@
+"""JSON wire schema for label functions.
+
+The serving layer receives LF sets as JSON and turns them into
+content-hashable trial descriptions; the worker fleet turns the same dicts
+back into live :class:`~repro.labeling.lf.LabelFunction` objects.  This
+module is the single definition of that encoding, used from both ends:
+
+* ``{"type": "keyword", "keyword": "...", "label": 0}`` —
+  :class:`~repro.labeling.lf.KeywordLF`;
+* ``{"type": "threshold", "feature": 3, "value": 0.5, "op": ">=",
+  "label": 1}`` — :class:`~repro.labeling.lf.ThresholdLF`.
+
+``lf_to_wire(lf_from_wire(d))`` is the canonical form of a wire dict:
+key-complete, value-normalised (ints are ints, values are floats), so two
+requests describing the same LF always produce the same content hash.
+``LambdaLF`` carries arbitrary code and deliberately has no wire form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.labeling.lf import KeywordLF, LabelFunction, ThresholdLF
+
+
+class WireFormatError(ValueError):
+    """A wire dict does not describe a valid label function."""
+
+
+def lf_from_wire(payload: dict) -> LabelFunction:
+    """Build a :class:`LabelFunction` from its JSON wire dict.
+
+    Raises :class:`WireFormatError` on unknown types, missing fields or
+    values the LF constructors reject — the serving layer turns these into
+    400 responses instead of enqueueing a trial doomed to fail.
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError(f"LF wire form must be an object, got {type(payload).__name__}")
+    kind = payload.get("type")
+    try:
+        if kind == "keyword":
+            return KeywordLF(
+                keyword=str(_require(payload, "keyword")),
+                label=int(_require(payload, "label")),
+            )
+        if kind == "threshold":
+            return ThresholdLF(
+                feature=int(_require(payload, "feature")),
+                value=float(_require(payload, "value")),
+                op=str(_require(payload, "op")),
+                label=int(_require(payload, "label")),
+            )
+    except WireFormatError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise WireFormatError(f"invalid {kind!r} LF: {error}") from error
+    raise WireFormatError(
+        f"unknown LF type {kind!r}; supported types are 'keyword' and 'threshold'"
+    )
+
+
+def lf_to_wire(lf: LabelFunction) -> dict:
+    """Encode a :class:`LabelFunction` as its JSON wire dict.
+
+    Only keyword and threshold LFs have a wire form; anything else (e.g.
+    ``LambdaLF`` wrapping arbitrary code) raises :class:`WireFormatError`.
+    """
+    if isinstance(lf, KeywordLF):
+        return {"type": "keyword", "keyword": lf.keyword, "label": lf.label}
+    if isinstance(lf, ThresholdLF):
+        return {
+            "type": "threshold",
+            "feature": lf.feature,
+            "value": lf.value,
+            "op": lf.op,
+            "label": lf.label,
+        }
+    raise WireFormatError(f"{type(lf).__name__} has no JSON wire form")
+
+
+def canonical_wire_lfs(payloads: Sequence[dict]) -> list[dict]:
+    """Validate and canonicalise a wire LF list (round-trip through objects).
+
+    The result is what goes into a trial's content-hashed
+    ``pipeline_kwargs``: equivalent requests (``"label": 1`` vs
+    ``"label": 1.0``, extra whitespace-insignificant variations) normalise
+    to identical dicts and therefore identical content keys.
+    """
+    return [lf_to_wire(lf_from_wire(payload)) for payload in payloads]
+
+
+def _require(payload: dict, field: str):
+    """Fetch a required wire field or raise :class:`WireFormatError`."""
+    try:
+        return payload[field]
+    except KeyError:
+        raise WireFormatError(
+            f"{payload.get('type')!r} LF is missing required field {field!r}"
+        ) from None

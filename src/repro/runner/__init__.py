@@ -29,6 +29,11 @@ One orchestration path for every experiment grid in the reproduction:
   (``python -m repro.runner.supervisor``) that spawns and retires worker
   daemons from queue depth and shard backlog (imported lazily for the
   same ``-m`` reason as the worker);
+* :mod:`repro.runner.fleet` — the one set of helpers for anything that
+  spawns fleet processes: :func:`subprocess_env` (child interpreters
+  resolve ``repro`` like the parent), :func:`fleet_paths` and the
+  :func:`worker_command` / :func:`supervisor_command` builders shared by
+  the supervisor, the examples and the serving smoke tests;
 * :mod:`repro.runner.engine` — grid expansion, cache-first scheduling
   (local, process-pool or distributed) and aggregation into
   :class:`~repro.experiments.protocol.FrameworkResult`s.
@@ -64,6 +69,12 @@ from repro.runner.brokers import (
     create_broker,
 )
 from repro.runner.executor import execute_trials, run_trial, run_trial_on_split
+from repro.runner.fleet import (
+    fleet_paths,
+    subprocess_env,
+    supervisor_command,
+    worker_command,
+)
 from repro.runner.engine import (
     ExecutionConfig,
     GridJob,
@@ -104,6 +115,10 @@ __all__ = [
     "execute_trials",
     "run_trial",
     "run_trial_on_split",
+    "fleet_paths",
+    "subprocess_env",
+    "supervisor_command",
+    "worker_command",
     "ExecutionConfig",
     "GridJob",
     "GridReport",

@@ -68,6 +68,13 @@ def run_trial_on_split(
                 for field, value in counters.items():
                     setattr(record, field, value)
         history.add(record)
+    exporter = getattr(pipeline, "export_artifacts", None)
+    if exporter is not None:
+        # Pipelines may export final outputs (aggregated labels, per-LF
+        # diagnostics, end-model predictions) beyond the metric records; the
+        # serving layer returns these to label-request clients.  The payload
+        # must be plain JSON-able Python — it travels inside the cached blob.
+        history.artifacts = exporter()
     return history
 
 

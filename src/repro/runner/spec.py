@@ -39,7 +39,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: 3: adaptive early stopping became the default EM/glasso stopping rule
 #:    (iteration counts and fitted parameters moved) and IterationRecord
 #:    gained the lm_converged_fits / lm_final_loss / glasso_sweeps counters.
-CACHE_FORMAT_VERSION = 3
+#: 4: RunHistory gained the ``artifacts`` payload (pipelines may export
+#:    final labels/diagnostics/predictions) and the trial loop calls the
+#:    pipelines' ``export_artifacts()`` hook after the last iteration.
+CACHE_FORMAT_VERSION = 4
 
 
 def canonical_value(obj):

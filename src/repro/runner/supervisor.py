@@ -61,6 +61,7 @@ from repro.runner.brokers import (
     SqliteBroker,
     create_broker,
 )
+from repro.runner.fleet import subprocess_env, worker_command
 from repro.runner.results import RESULT_STORE_BACKENDS
 
 #: Default seconds of emptiness after which a spawned worker retires itself
@@ -91,17 +92,6 @@ class WorkerHandle(Protocol):
 
     def terminate(self) -> None:
         """Forcibly stop the worker."""
-
-
-def _worker_env() -> dict[str, str]:
-    # Spawned workers must resolve `repro` the same way this process did,
-    # even when it was launched via PYTHONPATH=src rather than an install.
-    src_dir = str(Path(__file__).resolve().parents[2])
-    env = dict(os.environ)
-    paths = env.get("PYTHONPATH", "")
-    if src_dir not in paths.split(os.pathsep):
-        env["PYTHONPATH"] = src_dir + (os.pathsep + paths if paths else "")
-    return env
 
 
 class Supervisor:
@@ -227,32 +217,21 @@ class Supervisor:
     # -- the control loop -------------------------------------------------
 
     def _spawn_subprocess(self, worker_id: str) -> WorkerHandle:
-        command = [
-            sys.executable,
-            "-m",
-            "repro.runner.worker",
-            "--spool",
+        command = worker_command(
             self.spool,
-            "--cache-dir",
             self.cache_dir,
-            "--broker",
-            self.backend,
-            "--results",
-            self.results,
-            "--lease-ttl",
-            str(self.lease_ttl),
-            "--claim-batch",
-            str(self.claim_batch),
-            "--idle-timeout",
-            str(self.worker_idle_timeout),
-            "--worker-id",
-            worker_id,
-        ]
-        if self.worker_max_trials is not None:
-            command += ["--max-trials", str(self.worker_max_trials)]
-        if self.quiet:
-            command.append("--quiet")
-        return subprocess.Popen(command, env=_worker_env())
+            broker=self.backend,
+            results=self.results,
+            lease_ttl=self.lease_ttl,
+            claim_batch=self.claim_batch,
+            idle_timeout=self.worker_idle_timeout,
+            max_trials=self.worker_max_trials,
+            worker_id=worker_id,
+            quiet=self.quiet,
+        )
+        # Spawned workers must resolve `repro` the same way this process
+        # did, even when it was launched via PYTHONPATH=src.
+        return subprocess.Popen(command, env=subprocess_env())
 
     def target_workers(self, backlog: Mapping[str, int]) -> int:
         """Fleet size for a :meth:`Broker.backlog` reading.

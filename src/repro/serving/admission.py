@@ -1,0 +1,88 @@
+"""Request admission: the in-flight cap behind 429 + Retry-After.
+
+The broker queue is unbounded by design (a batch submitter wants its whole
+grid enqueued); a service does not — unbounded admission turns a traffic
+spike into an unbounded backlog with unbounded latency.  The
+:class:`AdmissionController` is the service's one gate: at most
+``max_inflight`` label jobs may be executing/queued on the fleet at once,
+and everything beyond that is rejected *immediately* with HTTP 429 and a
+``Retry-After`` hint rather than queued invisibly.
+
+Warm requests (served straight from the result store) never pass through
+the gate — admission protects fleet capacity, not cache reads.  The
+controller is plain thread-safe counters; it never blocks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class AdmissionController:
+    """Bounded in-flight admission with rejection counters.
+
+    Parameters
+    ----------
+    max_inflight:
+        Hard cap on concurrently admitted (not yet completed) jobs.
+    retry_after:
+        Seconds clients are told to wait before retrying a rejected
+        request (the ``Retry-After`` response header).
+    """
+
+    def __init__(self, max_inflight: int = 8, retry_after: float = 1.0):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+        self.max_inflight = int(max_inflight)
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._peak_inflight = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+
+    def try_acquire(self) -> bool:
+        """Admit one job if capacity allows; never blocks.
+
+        Returns ``True`` (capacity consumed — the caller owes exactly one
+        :meth:`release`) or ``False`` (over the cap; the caller answers
+        429 with :attr:`retry_after`).
+        """
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._rejected += 1
+                return False
+            self._inflight += 1
+            self._admitted += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight)
+            return True
+
+    def release(self) -> None:
+        """Return one admitted job's capacity (on completion or failure)."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching try_acquire()")
+            self._inflight -= 1
+            self._completed += 1
+
+    @property
+    def inflight(self) -> int:
+        """Jobs currently holding admission capacity."""
+        with self._lock:
+            return self._inflight
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for ``/stats`` (and the stress-test assertions)."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "peak_inflight": self._peak_inflight,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "completed": self._completed,
+                "retry_after": self.retry_after,
+            }

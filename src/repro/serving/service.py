@@ -1,0 +1,452 @@
+"""The HTTP-independent service core: jobs, cache short-circuits, watcher.
+
+:class:`LabelingService` is everything the serving layer does *except*
+HTTP: it owns a :class:`~repro.runner.brokers.Broker` (cold requests become
+content-keyed :class:`~repro.runner.spec.TrialSpec`\\ s enqueued to the
+worker fleet), a :class:`~repro.runner.results.ResultStore` (warm requests
+short-circuit straight to the stored history), an
+:class:`~repro.serving.admission.AdmissionController` (bounded in-flight)
+and a :class:`~repro.serving.sessions.SessionManager` (interactive
+sessions).  A background watcher thread completes pending jobs as their
+results land, polices expired worker leases, surfaces worker failures and
+re-enqueues lost tasks.
+
+Every public request method returns ``(http_status, payload, headers)`` so
+the stdlib HTTP layer (:mod:`repro.serving.server`) is a thin translation
+shim — and so the whole request surface is testable without a socket.
+
+Dedup layers, cheapest first:
+
+1. *coalescing* — a request whose key is already pending joins that job
+   (no new enqueue, no admission charge);
+2. *warm hit* — the result store already holds the key: answered
+   immediately (HTTP 200), bypassing admission entirely;
+3. *index hit* — an :class:`~repro.runner.results.IndexedResultStore`'s
+   :class:`~repro.runner.results.history_db.RunHistoryDB` knows the key
+   even though the blob read missed (e.g. the blob is still landing): the
+   job is registered pending *without* an enqueue — an indexed key is
+   never re-executed;
+4. *broker idempotency* — even an enqueued duplicate key is a no-op at
+   the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.runner.brokers import DEFAULT_LEASE_TTL, create_broker
+from repro.runner.results import create_result_store
+from repro.runner.spec import TrialSpec
+from repro.serving.admission import AdmissionController
+from repro.serving.schemas import RequestError, label_payload, parse_label_request
+from repro.serving.sessions import (
+    SessionBusyError,
+    SessionManager,
+    UnknownSessionError,
+)
+
+#: How many watcher ticks between self-heal re-enqueue sweeps.  Failures
+#: are checked every tick; re-enqueueing less often keeps the common path
+#: cheap and — because ``enqueue`` clears a task's failure log when it
+#: actually rewrites — guarantees a failure is observed before any retry
+#: could mask it.
+REQUEUE_EVERY_TICKS = 10
+
+
+class _Job:
+    """One pending/terminal label job (service-internal)."""
+
+    __slots__ = ("spec", "status", "error", "admitted", "enqueued")
+
+    def __init__(self, spec: TrialSpec, admitted: bool, enqueued: bool):
+        self.spec = spec
+        self.status = "pending"
+        self.error: dict | None = None
+        self.admitted = admitted
+        self.enqueued = enqueued
+
+
+class LabelingService:
+    """Session-based labeling over the worker fleet, minus the HTTP.
+
+    Parameters
+    ----------
+    spool_dir:
+        Broker location shared with the worker fleet (spool directory, or
+        the directory holding ``broker.sqlite3`` for the SQLite backend).
+    cache_dir:
+        Result-store root shared with the worker fleet.
+    broker:
+        Broker backend name (``"spool"`` or ``"sqlite"``).
+    results:
+        Result-store backend name (``"pickle"`` or ``"indexed"``).
+    lease_ttl:
+        Worker lease TTL passed to the broker; the watcher re-offers
+        leases older than this.
+    max_inflight / retry_after:
+        :class:`AdmissionController` knobs (the 429 + ``Retry-After``
+        behaviour).
+    max_sessions:
+        Live-session cap before LRU eviction to disk.
+    session_dir:
+        Where suspended sessions are pickled; defaults to
+        ``<cache_dir>/sessions``.
+    poll_interval:
+        Watcher tick period in seconds.
+    """
+
+    def __init__(
+        self,
+        spool_dir: str | Path,
+        cache_dir: str | Path,
+        broker: str = "spool",
+        results: str = "pickle",
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_inflight: int = 8,
+        retry_after: float = 1.0,
+        max_sessions: int = 8,
+        session_dir: str | Path | None = None,
+        poll_interval: float = 0.2,
+    ):
+        self.broker = create_broker(broker, spool_dir, lease_ttl=lease_ttl)
+        self.store = create_result_store(results, cache_dir)
+        self.admission = AdmissionController(
+            max_inflight=max_inflight, retry_after=retry_after
+        )
+        if session_dir is None:
+            session_dir = Path(cache_dir) / "sessions"
+        self.sessions = SessionManager(session_dir, max_live=max_sessions)
+        self.poll_interval = float(poll_interval)
+
+        self._lock = threading.Lock()
+        self._jobs: dict[str, _Job] = {}
+        self._counters = {
+            "submitted": 0,
+            "warm_hits": 0,
+            "coalesced": 0,
+            "index_hits": 0,
+            "enqueued": 0,
+            "requeues": 0,
+            "completed": 0,
+            "failed": 0,
+        }
+        self._tick = 0
+        self._draining = False
+        self._stop = threading.Event()
+        self._watcher = threading.Thread(
+            target=self._watch_loop, name="serving-watcher", daemon=True
+        )
+        self._watcher.start()
+
+    # -- label requests ----------------------------------------------------
+
+    def submit(self, body: dict) -> tuple[int, dict, dict]:
+        """Handle ``POST /label``: dedup, cache, admit, enqueue.
+
+        Returns 200 with the full label payload on a warm hit, 202 with
+        the job key while the fleet computes, 429 over the in-flight cap,
+        400 on a malformed body and 503 while draining.
+        """
+        if self._draining:
+            return 503, {"error": "service is draining"}, {}
+        try:
+            spec = parse_label_request(body)
+        except RequestError as error:
+            return 400, {"error": str(error)}, {}
+        key = spec.key
+
+        with self._lock:
+            self._counters["submitted"] += 1
+
+        # The store probe comes before the coalesce check: once a result
+        # has landed, a repeat must be a warm hit even if the watcher has
+        # not ticked the pending job to done yet.
+        history = self.store.get(spec)
+        if history is not None:
+            self._finish(key, "done")
+            with self._lock:
+                self._counters["warm_hits"] += 1
+            return 200, label_payload(spec, history), {}
+
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is not None and job.status == "pending":
+                self._counters["coalesced"] += 1
+                return 202, {"key": key, "status": "pending", "coalesced": True}, {}
+
+        if self._index_knows(key):
+            # The run-history index has this key even though the blob read
+            # missed (it may still be landing): register the job and let the
+            # watcher pick the result up — never re-execute an indexed key.
+            with self._lock:
+                self._counters["index_hits"] += 1
+                self._jobs[key] = _Job(spec, admitted=False, enqueued=False)
+            return 202, {"key": key, "status": "pending", "indexed": True}, {}
+
+        if not self.admission.try_acquire():
+            retry_after = self.admission.retry_after
+            payload = {
+                "error": "label queue at capacity",
+                "retry_after": retry_after,
+            }
+            return 429, payload, {"Retry-After": f"{retry_after:g}"}
+
+        written = self.broker.enqueue(spec)
+        with self._lock:
+            if written:
+                self._counters["enqueued"] += 1
+            self._jobs[key] = _Job(spec, admitted=True, enqueued=True)
+        return 202, {"key": key, "status": "pending"}, {}
+
+    def status(self, key: str) -> tuple[int, dict, dict]:
+        """Handle ``GET /label/<key>``: poll one job (or probe the store).
+
+        200 with the label payload when done, 202 while pending, 500 with
+        the worker's failure log when failed, 404 for unknown keys.
+        """
+        with self._lock:
+            job = self._jobs.get(key)
+        if job is None:
+            history = self.store.get(key)
+            if history is None:
+                return 404, {"key": key, "error": "unknown label key"}, {}
+            return 200, self._payload_for_key(key, history), {}
+        if job.status == "failed":
+            return 500, {"key": key, "status": "failed", "error": job.error}, {}
+        history = self.store.get(job.spec)
+        if history is None:
+            return 202, {"key": key, "status": "pending"}, {}
+        return 200, label_payload(job.spec, history), {}
+
+    # -- sessions ----------------------------------------------------------
+
+    def create_session(self, body: dict) -> tuple[int, dict, dict]:
+        """Handle ``POST /sessions``: open an interactive session (201)."""
+        if self._draining:
+            return 503, {"error": "service is draining"}, {}
+        if not isinstance(body, dict):
+            return 400, {"error": "request body must be a JSON object"}, {}
+        dataset = body.get("dataset")
+        if not dataset or not isinstance(dataset, str):
+            return 400, {"error": "'dataset' must be a non-empty dataset name"}, {}
+        unknown = set(body) - {
+            "dataset", "seed", "scale", "config_overrides", "end_model_C",
+        }
+        if unknown:
+            return 400, {"error": f"unknown session field(s): {sorted(unknown)}"}, {}
+        config_overrides = body.get("config_overrides")
+        if config_overrides is not None and not isinstance(config_overrides, dict):
+            return 400, {"error": "'config_overrides' must be an object when given"}, {}
+        try:
+            info = self.sessions.create(
+                dataset,
+                seed=int(body.get("seed", 0)),
+                scale=float(body.get("scale", 1.0)),
+                config_overrides=config_overrides,
+                end_model_C=float(body.get("end_model_C", 1.0)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            return 400, {"error": str(error)}, {}
+        return 201, info, {}
+
+    def session_add_lf(self, session_id: str, body: dict) -> tuple[int, dict, dict]:
+        """Handle ``POST /sessions/<id>/lfs``: stream one LF in, refit."""
+        return self._with_session(
+            session_id, lambda session: session.add_lf(body)
+        )
+
+    def session_labels(self, session_id: str) -> tuple[int, dict, dict]:
+        """Handle ``GET /sessions/<id>/labels``: the session's current product."""
+        return self._with_session(session_id, lambda session: session.label_payload())
+
+    def session_evict(self, session_id: str) -> tuple[int, dict, dict]:
+        """Handle ``POST /sessions/<id>/evict``: force-suspend to disk."""
+        return self._session_call(lambda: self.sessions.evict(session_id))
+
+    def session_delete(self, session_id: str) -> tuple[int, dict, dict]:
+        """Handle ``DELETE /sessions/<id>``: close and forget the session."""
+        return self._session_call(lambda: self.sessions.delete(session_id))
+
+    def list_sessions(self) -> tuple[int, dict, dict]:
+        """Handle ``GET /sessions``: id/dataset/residency of every session."""
+        return 200, {"sessions": self.sessions.list()}, {}
+
+    # -- introspection and lifecycle ---------------------------------------
+
+    def healthz(self) -> tuple[int, dict, dict]:
+        """Handle ``GET /healthz``: liveness plus the draining flag."""
+        status = "draining" if self._draining else "ok"
+        return (503 if self._draining else 200), {"status": status}, {}
+
+    def stats(self) -> tuple[int, dict, dict]:
+        """Handle ``GET /stats``: every counter the tests assert on."""
+        with self._lock:
+            counters = dict(self._counters)
+            jobs = {"pending": 0, "done": 0, "failed": 0}
+            for job in self._jobs.values():
+                jobs[job.status] += 1
+        payload = {
+            "requests": counters,
+            "jobs": jobs,
+            "admission": self.admission.snapshot(),
+            "sessions": self.sessions.stats(),
+            "broker": self.broker.counts(),
+            "results_stored": len(self.store),
+            "draining": self._draining,
+        }
+        return 200, payload, {}
+
+    def drain(self, grace: float = 30.0) -> dict:
+        """Graceful shutdown: refuse new work, let pending jobs finish.
+
+        Stops admitting (`submit`/`create_session` answer 503), waits up to
+        *grace* seconds for pending jobs to reach a terminal state, stops
+        the watcher and suspends every live session to disk — so a restart
+        resumes sessions instead of losing them.  Idempotent.
+        """
+        self._draining = True
+        deadline = threading.Event()
+        waited = 0.0
+        while waited < grace:
+            self._watch_once()
+            with self._lock:
+                if not any(job.status == "pending" for job in self._jobs.values()):
+                    break
+            deadline.wait(self.poll_interval)
+            waited += self.poll_interval
+        self._stop.set()
+        self._watcher.join(timeout=5.0)
+        suspended = self.sessions.suspend_all()
+        with self._lock:
+            pending = sum(1 for job in self._jobs.values() if job.status == "pending")
+        return {"drained": pending == 0, "pending": pending, "suspended": suspended}
+
+    def close(self) -> None:
+        """Stop the watcher without draining (test teardown)."""
+        self._draining = True
+        self._stop.set()
+        self._watcher.join(timeout=5.0)
+
+    # -- internals ---------------------------------------------------------
+
+    def _with_session(self, session_id: str, fn) -> tuple[int, dict, dict]:
+        """Run *fn* with the exclusively-acquired session, mapped to HTTP."""
+
+        def call():
+            with self.sessions.acquire(session_id) as session:
+                return fn(session)
+
+        return self._session_call(call)
+
+    def _session_call(self, call) -> tuple[int, dict, dict]:
+        """Map session-layer exceptions to their HTTP renderings."""
+        try:
+            return 200, call(), {}
+        except UnknownSessionError as error:
+            return 404, {"error": f"unknown session: {error.args[0]}"}, {}
+        except SessionBusyError as error:
+            retry_after = self.admission.retry_after
+            payload = {
+                "error": f"session busy: {error.args[0]}",
+                "retry_after": retry_after,
+            }
+            return 429, payload, {"Retry-After": f"{retry_after:g}"}
+        except RequestError as error:
+            return 400, {"error": str(error)}, {}
+        except (TypeError, ValueError) as error:
+            return 400, {"error": str(error)}, {}
+
+    def _index_knows(self, key: str) -> bool:
+        """Whether the result store's run-history index has this key."""
+        db = getattr(self.store, "db", None)
+        if db is None:
+            return False
+        return bool(db.query(where=f"key = '{key}'", limit=1))
+
+    def _payload_for_key(self, key: str, history) -> dict:
+        """A label payload for a raw key (store probe; no spec in hand).
+
+        Field-identical to :func:`label_payload` because every spec field
+        the payload carries is also materialised on the stored history.
+        """
+        return {
+            "key": key,
+            "framework": history.framework,
+            "dataset": history.dataset,
+            "seed": history.seed,
+            "status": "done",
+            "n_iterations": history.n_iterations,
+            "evaluation_points": [
+                [iteration, accuracy]
+                for iteration, accuracy in history.evaluation_points()
+            ],
+            "average_test_accuracy": history.average_test_accuracy(),
+            "final_test_accuracy": history.final_test_accuracy(),
+            "artifacts": history.artifacts,
+        }
+
+    def _watch_loop(self) -> None:
+        """Watcher thread body: tick until stopped."""
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self._watch_once()
+            except Exception:  # noqa: BLE001 - the watcher must survive ticks
+                # A transient backend error (e.g. a locked SQLite file)
+                # must not kill job completion; the next tick retries.
+                continue
+
+    def _watch_once(self) -> None:
+        """One watcher tick: complete, police leases, surface failures, heal."""
+        with self._lock:
+            pending = {
+                key: job for key, job in self._jobs.items() if job.status == "pending"
+            }
+        if not pending:
+            return
+
+        present = self.store.keys_present(pending)
+        for key in present:
+            self._finish(key, "done")
+        remaining = [key for key in pending if key not in present]
+        if not remaining:
+            return
+
+        # Re-offer tasks whose worker died mid-lease, then surface failures
+        # *before* any re-enqueue: enqueue clears a task's failure log when
+        # it actually rewrites, so checking failures first prevents an
+        # infinite execute/fail/requeue loop.
+        self.broker.release_expired(keys=remaining)
+        for key in remaining:
+            failure = self.broker.failure_for(key)
+            if failure is not None:
+                self._finish(key, "failed", error=failure)
+
+        self._tick += 1
+        if self._tick % REQUEUE_EVERY_TICKS == 0:
+            with self._lock:
+                lost = [
+                    job.spec
+                    for key, job in self._jobs.items()
+                    if job.status == "pending" and job.enqueued
+                ]
+            for spec in lost:
+                # Idempotent: a no-op while the task is queued or leased;
+                # an actual rewrite means the task vanished (e.g. a spool
+                # wiped mid-run) and this is the self-heal.
+                if self.broker.enqueue(spec):
+                    with self._lock:
+                        self._counters["requeues"] += 1
+
+    def _finish(self, key: str, status: str, error: dict | None = None) -> None:
+        """Move one job to a terminal state exactly once."""
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None or job.status != "pending":
+                return
+            job.status = status
+            job.error = error
+            self._counters["completed" if status == "done" else "failed"] += 1
+            admitted, job.admitted = job.admitted, False
+        if admitted:
+            self.admission.release()

@@ -1,11 +1,8 @@
 """Shared fixtures for the runner test suite."""
 
-import os
-from pathlib import Path
-
 import pytest
 
-import repro
+from repro.runner.fleet import subprocess_env as _subprocess_env
 
 
 @pytest.fixture()
@@ -16,8 +13,4 @@ def subprocess_env():
     child resolves the package the same way this process did, however the
     parent interpreter found it (PYTHONPATH, editable install...).
     """
-    src_dir = str(Path(repro.__file__).resolve().parent.parent)
-    env = dict(os.environ)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
-    return env
+    return _subprocess_env()

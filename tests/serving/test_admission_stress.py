@@ -1,0 +1,161 @@
+"""Concurrency stress: 8 threads hammer admission and one shared session.
+
+Pins the three safety properties of the serving layer under contention:
+
+* the in-flight cap is never exceeded (``peak_inflight`` proves it);
+* every request reaches exactly one terminal outcome — a result, a
+  failure, or an immediate 429 — nothing is silently dropped or queued
+  twice;
+* a session hammered concurrently is never corrupted: each request either
+  fully lands (200) or is fully rejected (429), and the final state is a
+  consistent function of the landed requests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+LFS = [
+    {"type": "keyword", "keyword": word, "label": index % 2}
+    for index, word in enumerate(
+        ["check", "subscribe", "song", "love", "free", "click", "great", "watch"]
+    )
+]
+
+N_THREADS = 8
+MAX_INFLIGHT = 2
+
+
+def _body(seed):
+    # Two LFs per request keeps the fleet work trivial; distinct seeds give
+    # every thread a distinct content key.
+    return {"dataset": "youtube", "lfs": LFS[:2], "scale": 0.15, "seed": seed}
+
+
+def test_inflight_cap_and_exactly_one_terminal_status(harness_factory):
+    harness = harness_factory(max_inflight=MAX_INFLIGHT, retry_after=0.05)
+    client = harness.client
+    barrier = threading.Barrier(N_THREADS)
+    first_responses = {}
+    outcomes = {}
+    errors = []
+
+    def hammer(seed):
+        try:
+            barrier.wait(timeout=10)
+            # Phase 1: everyone submits at once with no workers running, so
+            # admission capacity can only be consumed, never released —
+            # exactly MAX_INFLIGHT submissions can be admitted.
+            status, payload, headers = client.post("/label", _body(seed))
+            first_responses[seed] = (status, payload, headers)
+        except Exception as error:  # noqa: BLE001 - surface in the main thread
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=hammer, args=(seed,)) for seed in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+    assert len(first_responses) == N_THREADS
+
+    statuses = sorted(status for status, _, _ in first_responses.values())
+    assert statuses == [202] * MAX_INFLIGHT + [429] * (N_THREADS - MAX_INFLIGHT)
+    for status, payload, headers in first_responses.values():
+        if status == 429:
+            assert "Retry-After" in headers
+            assert payload["retry_after"] > 0
+
+    _, stats, _ = client.get("/stats")
+    assert stats["admission"]["inflight"] == MAX_INFLIGHT
+    assert stats["admission"]["peak_inflight"] == MAX_INFLIGHT
+    assert stats["admission"]["rejected"] == N_THREADS - MAX_INFLIGHT
+
+    # Phase 2: workers drain the fleet; rejected threads retry with backoff
+    # until admitted; every request must reach exactly one terminal state.
+    harness.start_worker(idle_timeout=8.0)
+    harness.start_worker(idle_timeout=8.0)
+
+    def resolve(seed):
+        try:
+            status, payload, _ = first_responses[seed]
+            wait = threading.Event()
+            while status == 429:
+                wait.wait(0.1)
+                status, payload, _ = client.post("/label", _body(seed))
+            key = payload["key"]
+            status, payload, _ = harness.poll_until_done(key, timeout=60)
+            outcomes[seed] = (key, status)
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=resolve, args=(seed,)) for seed in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=90)
+    assert not errors
+
+    # Exactly one terminal status per request, all successful, all distinct.
+    assert sorted(outcomes) == list(range(N_THREADS))
+    assert {status for _, status in outcomes.values()} == {200}
+    assert len({key for key, _ in outcomes.values()}) == N_THREADS
+
+    _, stats, _ = client.get("/stats")
+    assert stats["admission"]["peak_inflight"] <= MAX_INFLIGHT
+    assert stats["admission"]["inflight"] == 0
+    assert stats["admission"]["completed"] == stats["admission"]["admitted"]
+    assert stats["jobs"] == {"pending": 0, "done": N_THREADS, "failed": 0}
+    # Dedup held under contention: one enqueue per distinct key, ever.
+    assert stats["requests"]["enqueued"] == N_THREADS
+
+
+def test_concurrent_session_hammering_never_corrupts(harness_factory):
+    harness = harness_factory(retry_after=0.05)
+    client = harness.client
+    _, info, _ = client.post("/sessions", {"dataset": "youtube", "scale": 0.15})
+    sid = info["session_id"]
+    barrier = threading.Barrier(N_THREADS)
+    landed = []
+    errors = []
+
+    def stream(index):
+        try:
+            barrier.wait(timeout=10)
+            wait = threading.Event()
+            while True:
+                status, payload, _ = client.post(f"/sessions/{sid}/lfs", LFS[index])
+                if status == 200:
+                    landed.append((index, payload["n_lfs"]))
+                    return
+                # The only acceptable non-success is the per-session
+                # concurrency limit; anything else is corruption.
+                assert status == 429, (status, payload)
+                wait.wait(0.05)
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=stream, args=(index,)) for index in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors
+
+    # Every add landed exactly once and the LF count is strictly serial:
+    # requests interleaved but never interfered.
+    assert len(landed) == N_THREADS
+    assert sorted(count for _, count in landed) == list(range(1, N_THREADS + 1))
+
+    status, payload, _ = client.get(f"/sessions/{sid}/labels")
+    assert status == 200
+    assert payload["n_lfs"] == N_THREADS
+    names = {row["name"] for row in payload["lf_diagnostics"]}
+    assert len(names) == N_THREADS
+    assert len(payload["labels"]["values"]) == len(payload["labels"]["accepted"])

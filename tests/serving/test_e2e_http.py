@@ -1,0 +1,132 @@
+"""End-to-end HTTP lifecycle: cold submit → worker → poll, warm repeat.
+
+The acceptance contract of the serving layer, pinned over a real socket
+under BOTH broker backends:
+
+* a cold request is enqueued exactly once, executed by a real worker loop,
+  and the polled response is byte-identical to a direct engine run of the
+  same spec;
+* an immediate repeat is served warm from the result store with zero new
+  broker enqueues;
+* an indexed key whose blob read misses is never re-executed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import BROKER_BACKENDS, run_trial
+from repro.serving.schemas import canonical_json, label_payload, parse_label_request
+
+LFS = [
+    {"type": "keyword", "keyword": "check", "label": 1},
+    {"type": "keyword", "keyword": "subscribe", "label": 1},
+    {"type": "keyword", "keyword": "song", "label": 0},
+]
+
+
+def _body(seed=0):
+    return {"dataset": "youtube", "lfs": LFS, "scale": 0.15, "seed": seed}
+
+
+@pytest.mark.parametrize("backend", BROKER_BACKENDS)
+def test_cold_then_warm_lifecycle(harness_factory, backend):
+    harness = harness_factory(broker=backend)
+    client = harness.client
+
+    status, payload, _ = client.post("/label", _body())
+    assert status == 202
+    assert payload["status"] == "pending"
+    key = payload["key"]
+
+    # Exactly one enqueue; a coalesced duplicate adds nothing to the queue.
+    status, dup, _ = client.post("/label", _body())
+    assert status == 202
+    assert dup["coalesced"] is True
+    _, stats, _ = client.get("/stats")
+    assert stats["requests"]["enqueued"] == 1
+    assert stats["requests"]["coalesced"] == 1
+
+    harness.start_worker(max_trials=1)
+    status, done, _ = harness.poll_until_done(key)
+    assert status == 200
+    assert done["status"] == "done"
+    harness.join_workers()
+
+    # Byte-identity with a direct engine run of the canonicalised spec.
+    spec = parse_label_request(_body())
+    assert spec.key == key
+    expected = canonical_json(label_payload(spec, run_trial(spec)))
+    assert client.raw("GET", f"/label/{key}") == expected
+
+    # Warm repeat: full payload immediately, no new enqueue, no admission.
+    status, warm, _ = client.post("/label", _body())
+    assert status == 200
+    assert warm == done
+    _, stats, _ = client.get("/stats")
+    assert stats["requests"]["enqueued"] == 1
+    assert stats["requests"]["warm_hits"] == 1
+    assert stats["admission"]["inflight"] == 0
+    assert stats["jobs"] == {"pending": 0, "done": 1, "failed": 0}
+
+
+def test_indexed_key_never_reexecutes(harness_factory):
+    harness = harness_factory(results="indexed")
+    client = harness.client
+
+    status, payload, _ = client.post("/label", _body())
+    assert status == 202
+    key = payload["key"]
+    harness.start_worker(max_trials=1)
+    harness.poll_until_done(key)
+    harness.join_workers()
+
+    # Simulate the blob lagging the index (e.g. still landing on a shared
+    # filesystem): the run-history index still knows the key, so a fresh
+    # service must register the job without re-enqueueing it.
+    spec = parse_label_request(_body())
+    harness.service.store.path_for(spec).unlink()
+
+    fresh = harness_factory(results="indexed")
+    # Point the fresh service's store/broker at the first harness's state.
+    fresh.service.store = harness.service.store
+    fresh.service.broker = harness.service.broker
+    status, payload, _ = fresh.client.post("/label", _body())
+    assert status == 202
+    assert payload["indexed"] is True
+    _, stats, _ = fresh.client.get("/stats")
+    assert stats["requests"]["index_hits"] == 1
+    assert stats["requests"]["enqueued"] == 0
+    assert harness.service.broker.counts().get("pending", 0) == 0
+
+
+def test_worker_failure_surfaces_as_500(harness_factory):
+    harness = harness_factory()
+    client = harness.client
+    body = {"dataset": "no-such-dataset", "lfs": LFS}
+    status, payload, _ = client.post("/label", body)
+    assert status == 202
+    # A failed trial never counts toward max_trials; idle out quickly.
+    harness.start_worker(idle_timeout=1.0)
+    status, payload, _ = harness.poll_until_done(payload["key"])
+    assert status == 500
+    assert payload["status"] == "failed"
+    assert payload["error"]["error"]
+    _, stats, _ = client.get("/stats")
+    assert stats["jobs"]["failed"] == 1
+    assert stats["admission"]["inflight"] == 0
+
+
+def test_request_validation_and_unknown_routes(harness_factory):
+    harness = harness_factory()
+    client = harness.client
+    assert client.post("/label", {"dataset": "youtube"})[0] == 400
+    assert client.post("/label", {"dataset": "youtube", "lfs": []})[0] == 400
+    assert client.post("/label", {**_body(), "bogus": 1})[0] == 400
+    assert client.post("/label", {"dataset": "youtube", "lfs": [{"type": "?"}]})[0] == 400
+    assert client.get("/label/deadbeef")[0] == 404
+    assert client.get("/no/such/route")[0] == 404
+    assert client.post("/label/extra/segments")[0] == 404
+
+    status, payload, _ = client.get("/healthz")
+    assert (status, payload) == (200, {"status": "ok"})
