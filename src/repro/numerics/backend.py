@@ -89,6 +89,7 @@ class NumpyBackend(ArrayBackend):
     jit_enabled = False
 
     def set_at(self, array, index, value):
+        """In-place ``array[index] = value`` (numpy arrays are mutable)."""
         array[index] = value
         return array
 
@@ -124,6 +125,7 @@ class JaxBackend(ArrayBackend):
         return self._jax.jit(fn, static_argnums=static_argnums)
 
     def set_at(self, array, index, value):
+        """Functional ``array.at[index].set(value)`` (JAX arrays are immutable)."""
         return array.at[index].set(value)
 
 

@@ -90,6 +90,13 @@ directory-listing snapshot per spool directory per round instead of a stat
 per pending key per round.
 """
 
+# repro: noqa-file[REPRO101] -- lease heartbeats are wall-clock TTLs by
+# design (mtime freshness vs lease_ttl); timestamps never reach task
+# payloads or content keys.
+# repro: noqa-file[REPRO103] -- queue scans are order-independent by
+# design: listings feed membership tests and counters, and the claim
+# order is deliberately randomised per worker (see lease_batch).
+
 from __future__ import annotations
 
 import json
@@ -706,7 +713,7 @@ class SpoolBroker(Broker):
         }
         atomic_write_bytes(
             self.failure_path(lease.key),
-            json.dumps(payload, indent=2).encode("utf-8"),
+            json.dumps(payload, indent=2, sort_keys=True).encode("utf-8"),
         )
         self.complete(lease)
 

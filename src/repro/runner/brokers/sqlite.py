@@ -45,6 +45,10 @@ worker daemon's heartbeat thread shares the daemon's broker instance.  Cross
 lock waits bounded-blocking instead of immediate ``SQLITE_BUSY`` errors).
 """
 
+# repro: noqa-file[REPRO101] -- lease heartbeats are wall-clock TTLs by
+# design (heartbeat_at vs lease_ttl); timestamps never reach task payloads
+# or content keys.
+
 from __future__ import annotations
 
 import pickle
@@ -205,6 +209,11 @@ class SqliteBroker(Broker):
         deterministically by key (useful for tests).
     """
 
+    #: Shared state the lock-discipline checker holds to `with self._lock:`
+    #: (or the `_tx` transaction scope, which takes the lock itself).
+    _GUARDED_BY_LOCK = ("_conn", "_affinity_shard")
+    _LOCK_CONTEXTS = ("_tx",)
+
     def __init__(
         self,
         location: str | Path,
@@ -244,7 +253,7 @@ class SqliteBroker(Broker):
         """The database file (shown in timeout diagnostics)."""
         return self.path
 
-    def _connect(self) -> sqlite3.Connection:
+    def _connect(self) -> sqlite3.Connection:  # repro: locked
         """The lazily opened connection (schema ensured on first use)."""
         if self._conn is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)

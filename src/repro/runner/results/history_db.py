@@ -202,6 +202,11 @@ class RunHistoryDB:
         lazily on first use.
     """
 
+    #: Shared state the lock-discipline checker holds to `with self._lock:`
+    #: (or the `_tx`/`_read` scopes, which take the lock themselves).
+    _GUARDED_BY_LOCK = ("_conn",)
+    _LOCK_CONTEXTS = ("_tx", "_read")
+
     def __init__(self, location: str | Path):
         location = Path(location)
         self.path = (
@@ -212,7 +217,7 @@ class RunHistoryDB:
 
     # -- connection management --------------------------------------------
 
-    def _connect(self) -> sqlite3.Connection:
+    def _connect(self) -> sqlite3.Connection:  # repro: locked
         """The lazily opened connection (schema ensured on first use)."""
         if self._conn is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -70,6 +70,9 @@ class _Heartbeat(threading.Thread):
     submitter re-offer the trials.
     """
 
+    #: Shared state the lock-discipline checker holds to `with self._lock:`.
+    _GUARDED_BY_LOCK = ("_leases",)
+
     def __init__(self, broker: Broker, leases: list, interval: float):
         super().__init__(daemon=True)
         self._broker = broker

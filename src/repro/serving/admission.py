@@ -30,6 +30,15 @@ class AdmissionController:
         request (the ``Retry-After`` response header).
     """
 
+    #: Shared state the lock-discipline checker holds to `with self._lock:`.
+    _GUARDED_BY_LOCK = (
+        "_inflight",
+        "_peak_inflight",
+        "_admitted",
+        "_rejected",
+        "_completed",
+    )
+
     def __init__(self, max_inflight: int = 8, retry_after: float = 1.0):
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")

@@ -96,6 +96,10 @@ class LabelingService:
         Watcher tick period in seconds.
     """
 
+    #: Shared state the lock-discipline checker holds to `with self._lock:`
+    #: (the watcher thread and request threads race on all of these).
+    _GUARDED_BY_LOCK = ("_jobs", "_counters", "_tick", "_draining")
+
     def __init__(
         self,
         spool_dir: str | Path,
@@ -148,7 +152,9 @@ class LabelingService:
         the job key while the fleet computes, 429 over the in-flight cap,
         400 on a malformed body and 503 while draining.
         """
-        if self._draining:
+        with self._lock:
+            draining = self._draining
+        if draining:
             return 503, {"error": "service is draining"}, {}
         try:
             spec = parse_label_request(body)
@@ -223,7 +229,9 @@ class LabelingService:
 
     def create_session(self, body: dict) -> tuple[int, dict, dict]:
         """Handle ``POST /sessions``: open an interactive session (201)."""
-        if self._draining:
+        with self._lock:
+            draining = self._draining
+        if draining:
             return 503, {"error": "service is draining"}, {}
         if not isinstance(body, dict):
             return 400, {"error": "request body must be a JSON object"}, {}
@@ -276,13 +284,16 @@ class LabelingService:
 
     def healthz(self) -> tuple[int, dict, dict]:
         """Handle ``GET /healthz``: liveness plus the draining flag."""
-        status = "draining" if self._draining else "ok"
-        return (503 if self._draining else 200), {"status": status}, {}
+        with self._lock:
+            draining = self._draining
+        status = "draining" if draining else "ok"
+        return (503 if draining else 200), {"status": status}, {}
 
     def stats(self) -> tuple[int, dict, dict]:
         """Handle ``GET /stats``: every counter the tests assert on."""
         with self._lock:
             counters = dict(self._counters)
+            draining = self._draining
             jobs = {"pending": 0, "done": 0, "failed": 0}
             for job in self._jobs.values():
                 jobs[job.status] += 1
@@ -293,7 +304,7 @@ class LabelingService:
             "sessions": self.sessions.stats(),
             "broker": self.broker.counts(),
             "results_stored": len(self.store),
-            "draining": self._draining,
+            "draining": draining,
         }
         return 200, payload, {}
 
@@ -305,7 +316,8 @@ class LabelingService:
         the watcher and suspends every live session to disk — so a restart
         resumes sessions instead of losing them.  Idempotent.
         """
-        self._draining = True
+        with self._lock:
+            self._draining = True
         deadline = threading.Event()
         waited = 0.0
         while waited < grace:
@@ -324,7 +336,8 @@ class LabelingService:
 
     def close(self) -> None:
         """Stop the watcher without draining (test teardown)."""
-        self._draining = True
+        with self._lock:
+            self._draining = True
         self._stop.set()
         self._watcher.join(timeout=5.0)
 
@@ -422,21 +435,22 @@ class LabelingService:
             if failure is not None:
                 self._finish(key, "failed", error=failure)
 
-        self._tick += 1
-        if self._tick % REQUEUE_EVERY_TICKS == 0:
-            with self._lock:
-                lost = [
-                    job.spec
-                    for key, job in self._jobs.items()
-                    if job.status == "pending" and job.enqueued
-                ]
-            for spec in lost:
-                # Idempotent: a no-op while the task is queued or leased;
-                # an actual rewrite means the task vanished (e.g. a spool
-                # wiped mid-run) and this is the self-heal.
-                if self.broker.enqueue(spec):
-                    with self._lock:
-                        self._counters["requeues"] += 1
+        with self._lock:
+            self._tick += 1
+            if self._tick % REQUEUE_EVERY_TICKS != 0:
+                return
+            lost = [
+                job.spec
+                for key, job in self._jobs.items()
+                if job.status == "pending" and job.enqueued
+            ]
+        for spec in lost:
+            # Idempotent: a no-op while the task is queued or leased; an
+            # actual rewrite means the task vanished (e.g. a spool wiped
+            # mid-run) and this is the self-heal.
+            if self.broker.enqueue(spec):
+                with self._lock:
+                    self._counters["requeues"] += 1
 
     def _finish(self, key: str, status: str, error: dict | None = None) -> None:
         """Move one job to a terminal state exactly once."""

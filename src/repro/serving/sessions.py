@@ -196,6 +196,9 @@ class SessionManager:
         as *existing* — any request against them resumes transparently.
     """
 
+    #: Shared state the lock-discipline checker holds to `with self._lock:`.
+    _GUARDED_BY_LOCK = ("_entries", "_clock", "_created", "_evictions", "_resumes")
+
     def __init__(self, session_dir: str | Path, max_live: int = 8):
         if max_live < 1:
             raise ValueError("max_live must be at least 1")
@@ -349,7 +352,7 @@ class SessionManager:
     def _suspension_path(self, session_id: str) -> Path:
         return self.session_dir / f"{session_id}.session.pkl"
 
-    def _evict_entry(self, session_id: str, entry: _SessionEntry) -> bool:
+    def _evict_entry(self, session_id: str, entry: _SessionEntry) -> bool:  # repro: locked
         # Caller holds both the manager lock and the entry lock.
         if entry.session is None:
             return False
@@ -361,7 +364,7 @@ class SessionManager:
         self._evictions += 1
         return True
 
-    def _evict_over_capacity(self) -> None:
+    def _evict_over_capacity(self) -> None:  # repro: locked
         # Caller holds the manager lock.  Oldest-first so the LRU session
         # pays the suspend; busy sessions (entry lock held) are skipped —
         # eviction never yanks state out from under a live request.

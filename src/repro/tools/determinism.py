@@ -1,0 +1,215 @@
+"""Determinism lint over the content-key and canonical-JSON paths (REPRO10x).
+
+Trial content keys, canonical JSON payloads and the broker's task files are
+the replication backbone: the same logical request must hash, serialise and
+replay to the same bytes on every machine.  The modules on those paths
+(:mod:`repro.runner.spec`, :mod:`repro.serving.schemas`,
+:mod:`repro.labeling.wire`, ``repro.runner.brokers``) therefore must not
+consult wall clocks, process-global randomness, filesystem enumeration
+order or set iteration order anywhere a value could reach a key or payload.
+
+Rules:
+
+* ``REPRO101`` — wall-clock reads (``time.time``, ``datetime.now``, ...).
+  ``time.monotonic``/``time.sleep`` are interval plumbing and stay legal.
+* ``REPRO102`` — module-state randomness (``random.random``,
+  ``np.random.*``): process-global RNG state differs across workers.
+  Seeded instances (``random.Random(...)``, ``default_rng(seed)``) are the
+  sanctioned form and are not flagged.
+* ``REPRO103`` — unsorted filesystem enumeration (``os.listdir``,
+  ``Path.iterdir``, ``glob``): listing order is filesystem-dependent.
+  Enumeration consumed order-independently — directly inside ``sorted``,
+  ``set``, ``frozenset``, ``sum``, ``len``, ``any``, ``all``, ``max``,
+  ``min`` or a set comprehension — is not flagged.
+* ``REPRO104`` — ``json.dumps``/``json.dump`` without ``sort_keys=True``:
+  dict insertion order must never reach serialised bytes on these paths.
+* ``REPRO105`` — iteration over a syntactic set (a set literal/comprehension
+  or a ``set()``/``frozenset()`` call): set order is hash-randomised across
+  processes, so looping one into any output is a replay hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.check import Checker, Finding, dotted_name
+
+#: Dotted call targets whose value is the wall clock.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Module-state randomness: the ``random`` module's functional API and any
+#: ``np.random.*`` / ``numpy.random.*`` global-state call.
+_MODULE_RANDOM = {
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.uniform",
+    "random.choice",
+    "random.choices",
+    "random.sample",
+    "random.shuffle",
+    "random.seed",
+    "random.getrandbits",
+}
+_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+#: Attribute/function names that enumerate a directory.
+_FS_ENUMERATION = {"listdir", "iterdir", "glob", "rglob", "scandir"}
+
+#: Wrappers that consume an iterable order-independently.
+_ORDER_FREE_WRAPPERS = {
+    "sorted",
+    "set",
+    "frozenset",
+    "sum",
+    "len",
+    "any",
+    "all",
+    "max",
+    "min",
+}
+
+
+class DeterminismChecker(Checker):
+    """Flag nondeterminism hazards on the content-key/serialisation paths."""
+
+    name = "determinism"
+    rules = {
+        "REPRO101": "wall-clock read on a content-key/canonical-JSON path",
+        "REPRO102": "module-state randomness on a content-key/canonical-JSON path",
+        "REPRO103": "unsorted filesystem enumeration on a content-key/canonical-JSON path",
+        "REPRO104": "json.dumps without sort_keys=True on a canonical-JSON path",
+        "REPRO105": "iteration over a set on a serialisation path",
+    }
+    scope = (
+        "runner/spec.py",
+        "serving/schemas.py",
+        "labeling/wire.py",
+        "runner/brokers/*.py",
+    )
+
+    def __init__(self, scope: tuple[str, ...] | None = None):
+        if scope is not None:
+            self.scope = scope
+
+    def check_file(self, relpath: str, tree: ast.AST, source: str) -> Iterator[Finding]:
+        """Yield every determinism finding in one parsed module."""
+        order_free = _order_free_nodes(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(relpath, node, order_free)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(relpath, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_iteration(relpath, generator.iter)
+
+    def _check_call(
+        self, relpath: str, node: ast.Call, order_free: set[int]
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name in _WALL_CLOCK:
+            yield Finding(
+                "REPRO101",
+                relpath,
+                node.lineno,
+                f"{name}() reads the wall clock; deterministic paths must not",
+            )
+            return
+        if name is not None and (
+            name in _MODULE_RANDOM or name.startswith(_RANDOM_PREFIXES)
+        ):
+            yield Finding(
+                "REPRO102",
+                relpath,
+                node.lineno,
+                f"{name}() draws from process-global RNG state; "
+                "use a seeded instance instead",
+            )
+            return
+        if name in ("json.dumps", "json.dump"):
+            sort_keys = next(
+                (kw.value for kw in node.keywords if kw.arg == "sort_keys"), None
+            )
+            if not (
+                isinstance(sort_keys, ast.Constant) and sort_keys.value is True
+            ):
+                yield Finding(
+                    "REPRO104",
+                    relpath,
+                    node.lineno,
+                    f"{name}() without sort_keys=True lets dict insertion "
+                    "order reach serialised bytes",
+                )
+            return
+        attr = (
+            node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else node.func.id
+            if isinstance(node.func, ast.Name)
+            else None
+        )
+        if attr in _FS_ENUMERATION and id(node) not in order_free:
+            yield Finding(
+                "REPRO103",
+                relpath,
+                node.lineno,
+                f".{attr}() enumerates the filesystem in platform order; "
+                "wrap it in sorted() or consume it order-independently",
+            )
+
+    def _check_iteration(self, relpath: str, iterable: ast.AST) -> Iterator[Finding]:
+        if isinstance(iterable, (ast.Set, ast.SetComp)) or (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("set", "frozenset")
+        ):
+            yield Finding(
+                "REPRO105",
+                relpath,
+                iterable.lineno,
+                "iterating a set is hash-order-randomised across processes; "
+                "sort it before anything ordered consumes it",
+            )
+
+
+def _order_free_nodes(tree: ast.AST) -> set[int]:
+    """``id()``\\ s of call nodes consumed order-independently.
+
+    A filesystem enumeration is harmless when its order cannot escape:
+    directly as the argument of an order-free wrapper (``sorted(p.glob())``,
+    ``len(...)``, ...), as the iterable of a set comprehension, or via a
+    generator expression feeding such a wrapper (``sum(1 for _ in
+    p.glob(...))``).
+    """
+    allowed: set[int] = set()
+
+    def allow_iterable(node: ast.AST) -> None:
+        allowed.add(id(node))
+        if isinstance(node, ast.GeneratorExp):
+            for generator in node.generators:
+                allowed.add(id(generator.iter))
+
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_FREE_WRAPPERS
+        ):
+            for arg in node.args:
+                allow_iterable(arg)
+        elif isinstance(node, ast.SetComp):
+            for generator in node.generators:
+                allowed.add(id(generator.iter))
+    return allowed

@@ -1,0 +1,154 @@
+"""Backend-purity checker for the numeric kernels (REPRO20x).
+
+The numeric core (:mod:`repro.numerics`) is written once against the
+:class:`~repro.numerics.backend.ArrayBackend` seam and must run unchanged on
+every registered backend.  A *kernel function* — any function (or nested
+closure, e.g. the jit-compiled ``step`` bodies) that takes a ``backend`` or
+``xp`` parameter — therefore may only touch arrays through that seam:
+``xp.foo(...)``, ``backend.asarray(...)``, ``backend.set_at(...)``.
+
+Rules:
+
+* ``REPRO201`` — a kernel function calls ``np.*``/``numpy.*`` directly.
+  A short allowlist (:data:`HOST_INDEX_ALLOWLIST`) admits host-side index
+  bookkeeping (``np.arange``/``np.delete`` building Python-level index
+  lists) that never becomes backend array data.
+* ``REPRO202`` — a kernel function references the bare ``np``/``numpy``
+  module as a value (passing the module where an ``xp`` namespace is
+  expected).  Host-side callers outside the seam may pass ``np``; inside a
+  kernel it silently pins the computation to numpy on every backend.
+
+Host-side helpers *without* a ``backend``/``xp`` parameter (mask builders,
+prediction-path wrappers) are outside the seam by design and are not
+checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.check import Checker, Finding, dotted_name
+
+#: ``np.<attr>`` calls admitted inside kernel functions: host-side index
+#: bookkeeping whose results stay Python-level (fancy-index lists), never
+#: backend array data.
+HOST_INDEX_ALLOWLIST = frozenset({"arange", "delete"})
+
+#: Parameter names that mark a function as a kernel on the backend seam.
+_SEAM_PARAMS = frozenset({"backend", "xp"})
+
+#: Names the numpy module is bound to in this tree.
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+
+
+class BackendPurityChecker(Checker):
+    """Flag numpy bypasses of the ``ArrayBackend`` seam in kernel functions."""
+
+    name = "purity"
+    rules = {
+        "REPRO201": "direct np.* call inside a backend-seam kernel function",
+        "REPRO202": "bare np module used as a value inside a backend-seam kernel",
+    }
+    scope = ("numerics/*.py",)
+
+    def __init__(
+        self,
+        scope: tuple[str, ...] | None = None,
+        allowlist: frozenset[str] | None = None,
+    ):
+        if scope is not None:
+            self.scope = scope
+        self.allowlist = HOST_INDEX_ALLOWLIST if allowlist is None else allowlist
+
+    def check_file(self, relpath: str, tree: ast.AST, source: str) -> Iterator[Finding]:
+        """Yield purity findings for every kernel function in one module."""
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_kernel(node):
+                    yield from self._check_kernel(relpath, node)
+
+    def _check_kernel(
+        self, relpath: str, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        body = list(_walk_body(func))
+        # ``np`` Name nodes that merely anchor an ``np.foo`` chain are judged
+        # as part of that chain (REPRO201), not as bare-module uses.
+        attribute_bases = {
+            id(node.value) for node in body if isinstance(node, ast.Attribute)
+        }
+        for node in body:
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if (
+                    name is not None
+                    and "." in name
+                    and name.split(".", 1)[0] in _NUMPY_NAMES
+                ):
+                    attr = name.split(".", 1)[1]
+                    if attr not in self.allowlist:
+                        yield Finding(
+                            "REPRO201",
+                            relpath,
+                            node.lineno,
+                            f"kernel {func.name}() calls {name}() directly; "
+                            "go through the ArrayBackend seam (xp/backend)",
+                        )
+            elif (
+                isinstance(node, ast.Name)
+                and node.id in _NUMPY_NAMES
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in attribute_bases
+            ):
+                yield Finding(
+                    "REPRO202",
+                    relpath,
+                    node.lineno,
+                    f"kernel {func.name}() passes the bare {node.id} module "
+                    "around; pass backend.xp instead",
+                )
+
+
+def _is_kernel(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether *func* takes a backend-seam parameter (``backend`` or ``xp``)."""
+    args = func.args
+    names = {
+        arg.arg
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        )
+    }
+    return bool(names & _SEAM_PARAMS)
+
+
+def _walk_body(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk *func*'s executable body, skipping type-level subtrees.
+
+    Nested function definitions are included (a closure inside a kernel is
+    part of the kernel), but annotations — theirs and variable annotations —
+    are type-level and may legitimately say ``np.ndarray``.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Descend into the body only: skip the signature's annotations,
+            # defaults still evaluate at def time so keep them.
+            stack.extend(node.body)
+            stack.extend(node.args.defaults)
+            stack.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        if isinstance(node, ast.AnnAssign):
+            # The annotation itself is type-level; the target/value execute.
+            stack.append(node.target)
+            if node.value is not None:
+                stack.append(node.value)
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+

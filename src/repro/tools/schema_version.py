@@ -1,0 +1,267 @@
+"""Schema-version guard over the pickled payload surface (REPRO30x).
+
+Results caches, suspended serving sessions and broker task payloads all
+pickle a small set of structures; ``CACHE_FORMAT_VERSION`` (in
+:mod:`repro.runner.spec`) namespaces those bytes so old caches are never
+misread as current.  The version only works if every structural change to
+the payload surface actually bumps it — which is exactly what reviewers
+forget.  This guard makes the bump mechanical:
+
+* a *structural fingerprint* of the payload surface — dataclass fields
+  (name, annotation, has-default) of ``TrialSpec``, ``IterationRecord``,
+  ``RunHistory``, ``TrainingState`` and ``LabelPickState``, plus the
+  ``LabelingSession.meta`` dict keys — is committed to
+  ``tools/schema_fingerprint.json`` alongside the version it was taken at;
+* ``REPRO301`` fires when the surface drifts from the committed fingerprint
+  while ``CACHE_FORMAT_VERSION`` is unchanged (payload changed, version
+  forgot to move);
+* ``REPRO302`` fires when the committed fingerprint itself is missing or
+  stale (version bumped, or surface changed *with* a bump, but
+  ``--update-fingerprint`` wasn't run to re-commit it).
+
+Everything is extracted from source ASTs, never imports, so the guard works
+on scratch copies of single files and inside CI without the package's
+runtime dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.tools.check import Checker, Finding
+
+#: The committed fingerprint, relative to the scanned ``repro`` root.
+FINGERPRINT_RELPATH = "tools/schema_fingerprint.json"
+
+#: Where ``CACHE_FORMAT_VERSION`` is declared, relative to the root.
+VERSION_RELPATH = "runner/spec.py"
+VERSION_NAME = "CACHE_FORMAT_VERSION"
+
+#: The payload surface: ``(relpath, kind, class name)`` triples.  ``kind``
+#: is ``"dataclass"`` (fingerprint the field list) or ``"meta-keys"``
+#: (fingerprint the keys of the class's ``meta`` property dict literal —
+#: the session snapshot's pickled envelope).
+PAYLOAD_SURFACES: tuple[tuple[str, str, str], ...] = (
+    ("runner/spec.py", "dataclass", "TrialSpec"),
+    ("core/results.py", "dataclass", "IterationRecord"),
+    ("core/results.py", "dataclass", "RunHistory"),
+    ("core/state.py", "dataclass", "TrainingState"),
+    ("core/labelpick.py", "dataclass", "LabelPickState"),
+    ("serving/sessions.py", "meta-keys", "LabelingSession"),
+)
+
+
+class SchemaVersionChecker(Checker):
+    """Fail when the pickled payload surface and its version fall out of step."""
+
+    name = "schema"
+    rules = {
+        "REPRO301": "pickled payload surface changed without a CACHE_FORMAT_VERSION bump",
+        "REPRO302": "committed schema fingerprint is missing or stale",
+    }
+    scope = tuple(sorted({relpath for relpath, _, _ in PAYLOAD_SURFACES}))
+
+    def __init__(
+        self,
+        surfaces: tuple[tuple[str, str, str], ...] | None = None,
+        fingerprint_relpath: str = FINGERPRINT_RELPATH,
+    ):
+        self.surfaces = PAYLOAD_SURFACES if surfaces is None else surfaces
+        self.fingerprint_relpath = fingerprint_relpath
+
+    def check_root(self, root: Path) -> Iterator[Finding]:
+        """Compare the tree's live surface against the committed fingerprint."""
+        surface = extract_surface(root, self.surfaces)
+        live_digest = surface_digest(surface)
+        version, version_line = read_cache_version(root)
+        committed = load_fingerprint(root, self.fingerprint_relpath)
+
+        if committed is None:
+            yield Finding(
+                "REPRO302",
+                self.fingerprint_relpath,
+                1,
+                "no committed schema fingerprint; run "
+                "`python -m repro.tools.check --update-fingerprint`",
+            )
+            return
+
+        committed_digest = committed.get("digest")
+        committed_version = committed.get("cache_format_version")
+        if live_digest != committed_digest:
+            if version == committed_version:
+                yield Finding(
+                    "REPRO301",
+                    VERSION_RELPATH,
+                    version_line,
+                    "pickled payload surface changed but "
+                    f"{VERSION_NAME} is still {version}; bump it "
+                    "(old caches would be misread as current)",
+                )
+            else:
+                yield Finding(
+                    "REPRO302",
+                    self.fingerprint_relpath,
+                    1,
+                    f"{VERSION_NAME} was bumped to {version} but the "
+                    "committed fingerprint is stale; run "
+                    "`python -m repro.tools.check --update-fingerprint`",
+                )
+        elif version != committed_version:
+            yield Finding(
+                "REPRO302",
+                self.fingerprint_relpath,
+                1,
+                f"committed fingerprint records version {committed_version} "
+                f"but the tree declares {version}; run "
+                "`python -m repro.tools.check --update-fingerprint`",
+            )
+
+
+def extract_surface(
+    root: Path, surfaces: tuple[tuple[str, str, str], ...] = PAYLOAD_SURFACES
+) -> dict:
+    """The structural payload surface of *root*, extracted from source ASTs.
+
+    Dataclass surfaces record ``(name, annotation, has_default)`` per field;
+    ``meta-keys`` surfaces record the string keys of the class's ``meta``
+    property dict literal.  A missing file or class is recorded as such —
+    that too is a structural change the digest must see.
+    """
+    trees: dict[str, ast.Module | None] = {}
+    result: dict[str, dict] = {}
+    for relpath, kind, class_name in surfaces:
+        if relpath not in trees:
+            path = root / relpath
+            trees[relpath] = ast.parse(path.read_text()) if path.exists() else None
+        tree = trees[relpath]
+        key = f"{relpath}::{class_name}"
+        if tree is None:
+            result[key] = {"kind": kind, "missing": "file"}
+            continue
+        class_def = _find_class(tree, class_name)
+        if class_def is None:
+            result[key] = {"kind": kind, "missing": "class"}
+        elif kind == "dataclass":
+            result[key] = {"kind": kind, "fields": _dataclass_fields(class_def)}
+        elif kind == "meta-keys":
+            result[key] = {"kind": kind, "keys": _meta_keys(class_def)}
+        else:
+            raise ValueError(f"unknown surface kind {kind!r} for {key}")
+    return result
+
+
+def surface_digest(surface: dict) -> str:
+    """Canonical SHA-256 of a surface (version-independent by construction)."""
+    canonical = json.dumps(surface, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def read_cache_version(root: Path) -> tuple[int | None, int]:
+    """``(CACHE_FORMAT_VERSION, line)`` from the version module's AST."""
+    path = root / VERSION_RELPATH
+    if not path.exists():
+        return None, 1
+    tree = ast.parse(path.read_text())
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if VERSION_NAME in targets and isinstance(node.value, ast.Constant):
+                return node.value.value, node.lineno
+    return None, 1
+
+
+def load_fingerprint(
+    root: Path, relpath: str = FINGERPRINT_RELPATH
+) -> dict | None:
+    """The committed fingerprint document, or ``None`` if absent/unreadable."""
+    path = root / relpath
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def update_fingerprint(root: Path) -> tuple[bool, str]:
+    """Re-commit the fingerprint; refuse when the version wasn't bumped.
+
+    This is the ``--update-fingerprint`` workflow: after a payload change
+    *and* a ``CACHE_FORMAT_VERSION`` bump, rewrite
+    ``tools/schema_fingerprint.json``.  If the surface changed but the
+    version recorded in the committed fingerprint is still the tree's
+    version, the update is refused — rubber-stamping drift would defeat the
+    guard entirely.  Returns ``(ok, message)``.
+    """
+    surface = extract_surface(root)
+    live_digest = surface_digest(surface)
+    version, _ = read_cache_version(root)
+    committed = load_fingerprint(root)
+    path = root / FINGERPRINT_RELPATH
+
+    if (
+        committed is not None
+        and live_digest != committed.get("digest")
+        and version == committed.get("cache_format_version")
+    ):
+        return False, (
+            f"refusing to update: payload surface changed but {VERSION_NAME} "
+            f"is still {version}; bump it in {VERSION_RELPATH} first"
+        )
+
+    document = {
+        "cache_format_version": version,
+        "digest": live_digest,
+        "surface": surface,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return True, f"wrote {path} (version {version}, digest {live_digest[:12]}...)"
+
+
+def _find_class(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _dataclass_fields(class_def: ast.ClassDef) -> list[dict]:
+    """``(name, annotation, has_default)`` rows of a dataclass body."""
+    fields = []
+    for node in class_def.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _is_classvar(node.annotation):
+                continue
+            fields.append(
+                {
+                    "name": node.target.id,
+                    "annotation": ast.unparse(node.annotation),
+                    "has_default": node.value is not None,
+                }
+            )
+    return fields
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    text = ast.unparse(annotation)
+    return text.startswith("ClassVar") or text.startswith("typing.ClassVar")
+
+
+def _meta_keys(class_def: ast.ClassDef) -> list[str]:
+    """The string keys of the class's ``meta`` property dict literal."""
+    for node in class_def.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "meta":
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Dict):
+                    return sorted(
+                        key.value
+                        for key in sub.keys
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    )
+    return []

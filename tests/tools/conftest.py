@@ -1,0 +1,32 @@
+"""Shared fixture helpers for the static-analysis checker tests.
+
+Checker tests build tiny scratch trees that mirror the real package layout
+(the checkers address files by root-relative path), point a single checker
+at them and assert on the ``(rule, path, line)`` triples that come back.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write ``{relpath: source}`` under a scratch root and return the root.
+
+    Sources are dedented so fixture modules can be written inline as
+    indented triple-quoted strings.
+    """
+
+    def _make(files: dict[str, str]) -> Path:
+        root = tmp_path / "repro"
+        for relpath, source in files.items():
+            path = root / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return root
+
+    return _make

@@ -1,0 +1,215 @@
+"""Determinism lint (REPRO101–REPRO105): positive and negative fixtures.
+
+Each rule gets a minimal fixture module that violates it at a known line —
+asserting the exact ``(rule, path, line)`` — and a matching negative
+showing the sanctioned form stays silent.
+"""
+
+from __future__ import annotations
+
+from repro.tools.check import run_checks
+from repro.tools.determinism import DeterminismChecker
+
+
+def check(root):
+    report = run_checks(root=root, checkers=[DeterminismChecker()])
+    return [(f.rule, f.path, f.line) for f in report.findings]
+
+
+class TestWallClock:
+    def test_time_time_fires_at_line(self, make_tree):
+        root = make_tree(
+            {
+                "runner/spec.py": """\
+                import time
+                stamp = time.time()
+                """
+            }
+        )
+        assert check(root) == [("REPRO101", "runner/spec.py", 2)]
+
+    def test_datetime_now_fires(self, make_tree):
+        root = make_tree(
+            {
+                "serving/schemas.py": """\
+                import datetime
+                stamp = datetime.datetime.now()
+                """
+            }
+        )
+        assert check(root) == [("REPRO101", "serving/schemas.py", 2)]
+
+    def test_monotonic_and_sleep_are_legal(self, make_tree):
+        root = make_tree(
+            {
+                "runner/spec.py": """\
+                import time
+                start = time.monotonic()
+                time.sleep(0.1)
+                """
+            }
+        )
+        assert check(root) == []
+
+
+class TestModuleRandomness:
+    def test_random_module_call_fires(self, make_tree):
+        root = make_tree(
+            {
+                "labeling/wire.py": """\
+                import random
+                pick = random.choice([1, 2, 3])
+                """
+            }
+        )
+        assert check(root) == [("REPRO102", "labeling/wire.py", 2)]
+
+    def test_np_random_global_state_fires(self, make_tree):
+        root = make_tree(
+            {
+                "runner/spec.py": """\
+                import numpy as np
+                noise = np.random.normal(size=3)
+                """
+            }
+        )
+        assert check(root) == [("REPRO102", "runner/spec.py", 2)]
+
+    def test_seeded_instances_are_legal(self, make_tree):
+        root = make_tree(
+            {
+                "runner/spec.py": """\
+                import random
+                import numpy as np
+                rng = random.Random(7)
+                pick = rng.choice([1, 2, 3])
+                gen = np.random_thing if False else None  # not np.random.*
+                arr = np.asarray([1.0])
+                """
+            }
+        )
+        assert check(root) == []
+
+
+class TestFilesystemOrder:
+    def test_bare_glob_iteration_fires(self, make_tree):
+        root = make_tree(
+            {
+                "runner/brokers/custom.py": """\
+                from pathlib import Path
+                for path in Path(".").glob("*.task"):
+                    print(path)
+                """
+            }
+        )
+        assert check(root) == [("REPRO103", "runner/brokers/custom.py", 2)]
+
+    def test_os_listdir_assignment_fires(self, make_tree):
+        root = make_tree(
+            {
+                "runner/brokers/custom.py": """\
+                import os
+                names = os.listdir(".")
+                """
+            }
+        )
+        assert check(root) == [("REPRO103", "runner/brokers/custom.py", 2)]
+
+    def test_sorted_wrapper_is_legal(self, make_tree):
+        root = make_tree(
+            {
+                "runner/brokers/custom.py": """\
+                import os
+                from pathlib import Path
+                names = sorted(os.listdir("."))
+                count = sum(1 for _ in Path(".").glob("*.task"))
+                present = any(True for _ in Path(".").iterdir())
+                unique = {p.name for p in Path(".").glob("*.task")}
+                """
+            }
+        )
+        assert check(root) == []
+
+
+class TestCanonicalJson:
+    def test_dumps_without_sort_keys_fires(self, make_tree):
+        root = make_tree(
+            {
+                "serving/schemas.py": """\
+                import json
+                body = json.dumps({"b": 1, "a": 2})
+                """
+            }
+        )
+        assert check(root) == [("REPRO104", "serving/schemas.py", 2)]
+
+    def test_dumps_sort_keys_false_fires(self, make_tree):
+        root = make_tree(
+            {
+                "serving/schemas.py": """\
+                import json
+                body = json.dumps({"a": 2}, sort_keys=False)
+                """
+            }
+        )
+        assert check(root) == [("REPRO104", "serving/schemas.py", 2)]
+
+    def test_dumps_sort_keys_true_is_legal(self, make_tree):
+        root = make_tree(
+            {
+                "serving/schemas.py": """\
+                import json
+                body = json.dumps({"a": 2}, sort_keys=True)
+                """
+            }
+        )
+        assert check(root) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_fires(self, make_tree):
+        root = make_tree(
+            {
+                "labeling/wire.py": """\
+                out = []
+                for item in {"b", "a"}:
+                    out.append(item)
+                """
+            }
+        )
+        assert check(root) == [("REPRO105", "labeling/wire.py", 2)]
+
+    def test_comprehension_over_set_call_fires(self, make_tree):
+        root = make_tree(
+            {
+                "labeling/wire.py": """\
+                rows = [item for item in set(["b", "a"])]
+                """
+            }
+        )
+        assert check(root) == [("REPRO105", "labeling/wire.py", 1)]
+
+    def test_sorted_set_is_legal(self, make_tree):
+        root = make_tree(
+            {
+                "labeling/wire.py": """\
+                rows = [item for item in sorted({"b", "a"})]
+                for item in sorted(set(["b", "a"])):
+                    pass
+                """
+            }
+        )
+        assert check(root) == []
+
+
+class TestScope:
+    def test_files_outside_scope_are_not_checked(self, make_tree):
+        root = make_tree(
+            {
+                "core/results.py": """\
+                import time
+                stamp = time.time()
+                """
+            }
+        )
+        assert check(root) == []

@@ -1,0 +1,273 @@
+"""Lock-discipline checker (REPRO401/REPRO402): positive and negative fixtures."""
+
+from __future__ import annotations
+
+from repro.tools.check import run_checks
+from repro.tools.locks import LockDisciplineChecker
+
+
+def check(root):
+    report = run_checks(root=root, checkers=[LockDisciplineChecker()])
+    return [(f.rule, f.path, f.line) for f in report.findings]
+
+
+class TestGuardedAccess:
+    def test_unguarded_read_fires_at_line(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Service:
+                    _GUARDED_BY_LOCK = ("_count",)
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def peek(self):
+                        return self._count
+                """
+            }
+        )
+        assert check(root) == [("REPRO401", "serving/svc.py", 11)]
+
+    def test_unguarded_write_fires(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Service:
+                    _GUARDED_BY_LOCK = ("_count",)
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        self._count += 1
+                """
+            }
+        )
+        assert check(root) == [("REPRO401", "serving/svc.py", 11)]
+
+    def test_access_under_with_lock_is_legal(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Service:
+                    _GUARDED_BY_LOCK = ("_count",)
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+                            return self._count
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_init_is_exempt(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Service:
+                    _GUARDED_BY_LOCK = ("_count",)
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+                        self._count += 1
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_locked_marker_opts_method_out(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Service:
+                    _GUARDED_BY_LOCK = ("_count",)
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def _bump_locked(self):  # repro: locked
+                        self._count += 1
+
+                    def bump(self):
+                        with self._lock:
+                            self._bump_locked()
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_declared_lock_context_counts_as_locked(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+                from contextlib import contextmanager
+
+                class Store:
+                    _GUARDED_BY_LOCK = ("_conn",)
+                    _LOCK_CONTEXTS = ("_tx",)
+
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._conn = None
+
+                    @contextmanager
+                    def _tx(self):  # repro: locked
+                        with self._lock:
+                            yield self._conn
+
+                    def write(self):
+                        with self._tx() as conn:
+                            self._conn = conn
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_undeclared_context_does_not_count(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Store:
+                    _GUARDED_BY_LOCK = ("_conn",)
+
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._conn = None
+
+                    def write(self):
+                        with self._session() as conn:
+                            self._conn = conn
+                """
+            }
+        )
+        assert check(root) == [("REPRO401", "serving/svc.py", 12)]
+
+    def test_code_after_with_block_is_unlocked_again(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Service:
+                    _GUARDED_BY_LOCK = ("_count",)
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+                        return self._count
+                """
+            }
+        )
+        assert check(root) == [("REPRO401", "serving/svc.py", 13)]
+
+    def test_other_objects_attributes_are_not_tracked(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Service:
+                    _GUARDED_BY_LOCK = ("_count",)
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def merge(self, other):
+                        with self._lock:
+                            self._count += other._count
+                """
+            }
+        )
+        assert check(root) == []
+
+
+class TestInventoryCompleteness:
+    def test_lock_without_inventory_fires(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                """
+            }
+        )
+        assert check(root) == [("REPRO402", "serving/svc.py", 5)]
+
+    def test_lock_with_inventory_is_legal(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Service:
+                    _GUARDED_BY_LOCK = ("_count",)
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_empty_inventory_is_an_explicit_declaration(self, make_tree):
+        # Declaring an empty tuple says "this lock guards no attributes"
+        # (e.g. it only serialises an external resource) — allowed, unlike
+        # declaring nothing at all.
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                import threading
+
+                class Gate:
+                    _GUARDED_BY_LOCK = ()
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_class_without_lock_needs_no_inventory(self, make_tree):
+        root = make_tree(
+            {
+                "serving/svc.py": """\
+                class Plain:
+                    def __init__(self):
+                        self._count = 0
+                """
+            }
+        )
+        assert check(root) == []

@@ -1,0 +1,178 @@
+"""Backend-purity checker (REPRO201/REPRO202): positive and negative fixtures."""
+
+from __future__ import annotations
+
+from repro.tools.check import run_checks
+from repro.tools.purity import BackendPurityChecker
+
+
+def check(root, **kwargs):
+    report = run_checks(root=root, checkers=[BackendPurityChecker(**kwargs)])
+    return [(f.rule, f.path, f.line) for f in report.findings]
+
+
+class TestDirectNumpyCalls:
+    def test_np_call_in_backend_function_fires(self, make_tree):
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def solve(backend, matrix):
+                    return np.linalg.inv(matrix)
+                """
+            }
+        )
+        assert check(root) == [("REPRO201", "numerics/kernel.py", 4)]
+
+    def test_np_call_in_xp_function_fires(self, make_tree):
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def e_step(xp, proba):
+                    return np.clip(proba, 0.0, 1.0)
+                """
+            }
+        )
+        assert check(root) == [("REPRO201", "numerics/kernel.py", 4)]
+
+    def test_np_call_inside_nested_closure_fires(self, make_tree):
+        # The jit-compiled `step` closures are part of the kernel even
+        # though the closure itself has no backend parameter.
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def step_fn(backend):
+                    def step(values):
+                        return np.exp(values)
+                    return backend.jit(step)
+                """
+            }
+        )
+        assert check(root) == [("REPRO201", "numerics/kernel.py", 5)]
+
+    def test_host_side_helper_without_seam_param_is_unchecked(self, make_tree):
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def build_masks(matrix, n_classes):
+                    return np.stack([(matrix == c) for c in range(n_classes)])
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_allowlisted_index_helpers_are_legal(self, make_tree):
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def sweeps(backend, p):
+                    return [np.delete(np.arange(p), j) for j in range(p)]
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_allowlist_is_configurable(self, make_tree):
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def sweeps(backend, p):
+                    return np.arange(p)
+                """
+            }
+        )
+        assert check(root, allowlist=frozenset()) == [
+            ("REPRO201", "numerics/kernel.py", 4)
+        ]
+
+    def test_xp_and_backend_calls_are_legal(self, make_tree):
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                def solve(backend, matrix):
+                    xp = backend.xp
+                    inv = xp.linalg.inv(backend.asarray(matrix))
+                    return backend.set_at(inv, 0, 0.0)
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_annotations_may_say_np_ndarray(self, make_tree):
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def solve(backend, matrix: np.ndarray) -> np.ndarray:
+                    result: np.ndarray = backend.asarray(matrix)
+                    return result
+                """
+            }
+        )
+        assert check(root) == []
+
+
+class TestBareModuleUse:
+    def test_passing_np_as_value_fires(self, make_tree):
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def solve(backend, matrix):
+                    return _inner(np, matrix)
+                """
+            }
+        )
+        assert check(root) == [("REPRO202", "numerics/kernel.py", 4)]
+
+    def test_np_as_attribute_base_is_not_a_bare_use(self, make_tree):
+        # np.delete(...) is judged by REPRO201 (here: allowlisted), not
+        # double-reported as a bare-module use.
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def sweeps(backend, p):
+                    return np.delete(np.arange(p), 0)
+                """
+            }
+        )
+        assert check(root) == []
+
+    def test_host_side_caller_may_pass_np(self, make_tree):
+        root = make_tree(
+            {
+                "numerics/kernel.py": """\
+                import numpy as np
+
+                def posterior(matrix):
+                    return _e_step(np, matrix)
+                """
+            }
+        )
+        assert check(root) == []
+
+
+class TestRealTreeScope:
+    def test_real_numerics_package_is_clean(self):
+        # The shipped kernels (em/glasso/scores) hold the purity contract
+        # with no suppressions at all.
+        from repro.tools.check import default_root
+
+        report = run_checks(root=default_root(), checkers=[BackendPurityChecker()])
+        assert report.findings == []
+        assert report.suppressed == []

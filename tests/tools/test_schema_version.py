@@ -1,0 +1,181 @@
+"""Schema-version guard (REPRO301/REPRO302) and the fingerprint workflow.
+
+These tests work on scratch copies of the real payload-surface files —
+the guard is AST-based precisely so that mutating a copied
+``runner/spec.py`` (without importing it) exercises the real drift
+detection end to end, which is the issue's acceptance scenario.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.tools.check import default_root, main, run_checks
+from repro.tools.schema_version import (
+    FINGERPRINT_RELPATH,
+    PAYLOAD_SURFACES,
+    SchemaVersionChecker,
+    extract_surface,
+    read_cache_version,
+    surface_digest,
+    update_fingerprint,
+)
+
+#: Every file the payload surface (and the committed fingerprint) lives in.
+_SURFACE_FILES = sorted(
+    {relpath for relpath, _, _ in PAYLOAD_SURFACES} | {FINGERPRINT_RELPATH}
+)
+
+
+@pytest.fixture
+def scratch_root(tmp_path):
+    """A scratch copy of the real payload-surface files + fingerprint."""
+    root = tmp_path / "repro"
+    src = default_root()
+    for relpath in _SURFACE_FILES:
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(src / relpath, target)
+    return root
+
+
+def check(root):
+    report = run_checks(root=root, checkers=[SchemaVersionChecker()])
+    return [(f.rule, f.path) for f in report.findings]
+
+
+def mutate_trialspec(root):
+    """Add a pickled-payload field to the scratch copy's TrialSpec."""
+    spec_path = root / "runner/spec.py"
+    text = spec_path.read_text()
+    anchor = "    group: str | None = None"
+    assert anchor in text
+    spec_path.write_text(
+        text.replace(anchor, anchor + "\n    priority: int = 0", 1)
+    )
+
+
+def bump_version(root):
+    spec_path = root / "runner/spec.py"
+    version, _line = read_cache_version(root)
+    text = spec_path.read_text()
+    old = f"CACHE_FORMAT_VERSION = {version}"
+    assert old in text
+    spec_path.write_text(text.replace(old, f"CACHE_FORMAT_VERSION = {version + 1}", 1))
+
+
+class TestDriftDetection:
+    def test_unmutated_scratch_copy_is_clean(self, scratch_root):
+        assert check(scratch_root) == []
+
+    def test_field_added_without_bump_fails(self, scratch_root):
+        # The acceptance scenario: a new TrialSpec field changes the bytes
+        # every pickled spec produces, so an unbumped CACHE_FORMAT_VERSION
+        # would let old caches be misread as current.
+        mutate_trialspec(scratch_root)
+        findings = run_checks(
+            root=scratch_root, checkers=[SchemaVersionChecker()]
+        ).findings
+        assert [(f.rule, f.path) for f in findings] == [
+            ("REPRO301", "runner/spec.py")
+        ]
+        _version, version_line = read_cache_version(scratch_root)
+        assert findings[0].line == version_line
+
+    def test_field_added_with_bump_wants_fingerprint_update(self, scratch_root):
+        mutate_trialspec(scratch_root)
+        bump_version(scratch_root)
+        assert check(scratch_root) == [("REPRO302", FINGERPRINT_RELPATH)]
+
+    def test_bump_without_payload_change_wants_fingerprint_update(self, scratch_root):
+        bump_version(scratch_root)
+        assert check(scratch_root) == [("REPRO302", FINGERPRINT_RELPATH)]
+
+    def test_missing_fingerprint_fails(self, scratch_root):
+        (scratch_root / FINGERPRINT_RELPATH).unlink()
+        assert check(scratch_root) == [("REPRO302", FINGERPRINT_RELPATH)]
+
+    def test_session_meta_keys_are_part_of_the_surface(self, scratch_root):
+        # The suspended-session pickle envelope is rebuilt from meta's
+        # keys; renaming one is as breaking as a dataclass field change.
+        sessions = scratch_root / "serving/sessions.py"
+        text = sessions.read_text()
+        assert '"end_model_C": self.end_model_C,' in text
+        sessions.write_text(
+            text.replace(
+                '"end_model_C": self.end_model_C,',
+                '"end_model_c": self.end_model_C,',
+                1,
+            )
+        )
+        assert check(scratch_root) == [("REPRO301", "runner/spec.py")]
+
+    def test_removed_field_is_drift_too(self, scratch_root):
+        spec_path = scratch_root / "runner/spec.py"
+        text = spec_path.read_text()
+        assert "    group: str | None = None\n" in text
+        spec_path.write_text(text.replace("    group: str | None = None\n", "", 1))
+        assert check(scratch_root) == [("REPRO301", "runner/spec.py")]
+
+
+class TestUpdateWorkflow:
+    def test_update_refused_without_version_bump(self, scratch_root):
+        mutate_trialspec(scratch_root)
+        before = (scratch_root / FINGERPRINT_RELPATH).read_text()
+        ok, message = update_fingerprint(scratch_root)
+        assert not ok
+        assert "bump it" in message
+        # The refused update must not have touched the committed file.
+        assert (scratch_root / FINGERPRINT_RELPATH).read_text() == before
+
+    def test_update_succeeds_after_bump_and_clears_findings(self, scratch_root):
+        mutate_trialspec(scratch_root)
+        bump_version(scratch_root)
+        ok, message = update_fingerprint(scratch_root)
+        assert ok
+        assert "wrote" in message
+        assert check(scratch_root) == []
+
+    def test_update_is_idempotent_on_clean_tree(self, scratch_root):
+        ok, _message = update_fingerprint(scratch_root)
+        assert ok
+        assert check(scratch_root) == []
+
+    def test_cli_update_fingerprint_exit_codes(self, scratch_root, capsys):
+        mutate_trialspec(scratch_root)
+        assert main(["--root", str(scratch_root), "--update-fingerprint"]) == 1
+        assert "refusing" in capsys.readouterr().out
+        bump_version(scratch_root)
+        assert main(["--root", str(scratch_root), "--update-fingerprint"]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSurfaceExtraction:
+    def test_digest_is_version_independent(self, scratch_root):
+        before = surface_digest(extract_surface(scratch_root))
+        bump_version(scratch_root)
+        assert surface_digest(extract_surface(scratch_root)) == before
+
+    def test_surface_records_fields_with_defaults(self, scratch_root):
+        surface = extract_surface(scratch_root)
+        spec = surface["runner/spec.py::TrialSpec"]
+        by_name = {field["name"]: field for field in spec["fields"]}
+        assert by_name["framework"]["has_default"] is False
+        assert by_name["group"]["has_default"] is True
+
+    def test_missing_surface_file_changes_the_digest(self, scratch_root):
+        before = surface_digest(extract_surface(scratch_root))
+        (scratch_root / "core/state.py").unlink()
+        assert surface_digest(extract_surface(scratch_root)) != before
+
+    def test_committed_fingerprint_matches_the_real_tree(self):
+        # The repo-level invariant CI asserts: the committed fingerprint
+        # is current for the shipped sources.
+        assert (
+            run_checks(
+                root=default_root(), checkers=[SchemaVersionChecker()]
+            ).findings
+            == []
+        )
